@@ -1,0 +1,260 @@
+package scout
+
+// This file re-exports the domain types and constructors downstream users
+// need to drive the pipeline, so the whole system is usable through the
+// single public package while implementations stay in internal/.
+
+import (
+	"scout/internal/collect"
+	"scout/internal/compile"
+	"scout/internal/correlate"
+	"scout/internal/fabric"
+	"scout/internal/faultlog"
+	"scout/internal/localize"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/risk"
+	"scout/internal/rule"
+	"scout/internal/scenario"
+	"scout/internal/tcam"
+	"scout/internal/topo"
+	"scout/internal/workload"
+)
+
+// Object identity.
+type (
+	// ObjectRef uniquely names a policy or physical object.
+	ObjectRef = object.Ref
+	// ObjectID is the numeric identity of an object within its kind.
+	ObjectID = object.ID
+	// ObjectKind enumerates object kinds (VRF, EPG, contract, filter,
+	// switch).
+	ObjectKind = object.Kind
+)
+
+// Object kinds.
+const (
+	KindVRF      = object.KindVRF
+	KindEPG      = object.KindEPG
+	KindContract = object.KindContract
+	KindFilter   = object.KindFilter
+	KindSwitch   = object.KindSwitch
+)
+
+// Object reference constructors.
+var (
+	// VRFRef names a VRF object.
+	VRFRef = object.VRF
+	// EPGRef names an endpoint-group object.
+	EPGRef = object.EPG
+	// ContractRef names a contract object.
+	ContractRef = object.Contract
+	// FilterRef names a filter object.
+	FilterRef = object.Filter
+	// SwitchRef names a physical switch.
+	SwitchRef = object.Switch
+	// ParseObjectRef parses "kind:id" strings.
+	ParseObjectRef = object.ParseRef
+)
+
+// Policy model.
+type (
+	// Policy is a complete tenant network policy (desired state).
+	Policy = policy.Policy
+	// VRF is a virtual-routing-and-forwarding scope object.
+	VRF = policy.VRF
+	// EPG is an endpoint group.
+	EPG = policy.EPG
+	// Endpoint is a workload attached to a leaf switch.
+	Endpoint = policy.Endpoint
+	// Filter is a reusable set of traffic classification entries.
+	Filter = policy.Filter
+	// FilterEntry is one (protocol, port range, action) clause.
+	FilterEntry = policy.FilterEntry
+	// Contract glues EPG pairs to filters.
+	Contract = policy.Contract
+	// Binding attaches a contract to an EPG pair.
+	Binding = policy.Binding
+	// EPGPair is an unordered pair of EPG IDs.
+	EPGPair = policy.EPGPair
+)
+
+var (
+	// NewPolicy returns an empty policy.
+	NewPolicy = policy.New
+	// PolicyFromJSON decodes and validates a serialized policy.
+	PolicyFromJSON = policy.FromJSON
+	// PortEntry builds a single-port allow filter entry.
+	PortEntry = policy.PortEntry
+	// MakeEPGPair canonicalizes an EPG pair.
+	MakeEPGPair = policy.MakeEPGPair
+)
+
+// Rules.
+type (
+	// Rule is a prioritized access-control entry (logical or TCAM).
+	Rule = rule.Rule
+	// RuleMatch is the matching half of a rule.
+	RuleMatch = rule.Match
+	// RuleAction is allow or deny.
+	RuleAction = rule.Action
+	// Protocol is an IP protocol number.
+	Protocol = rule.Protocol
+)
+
+// Rule actions and common protocols.
+const (
+	Allow     = rule.Allow
+	Deny      = rule.Deny
+	ProtoAny  = rule.ProtoAny
+	ProtoICMP = rule.ProtoICMP
+	ProtoTCP  = rule.ProtoTCP
+	ProtoUDP  = rule.ProtoUDP
+)
+
+// Topology.
+type (
+	// Topology is the leaf-switch attachment view.
+	Topology = topo.Topology
+)
+
+var (
+	// NewTopology creates a topology with the given switches.
+	NewTopology = topo.New
+	// TopologyFromPolicy derives the topology from endpoint placements.
+	TopologyFromPolicy = topo.FromPolicy
+)
+
+// Fabric simulation.
+type (
+	// Fabric simulates controller, switch agents, and TCAMs.
+	Fabric = fabric.Fabric
+	// FabricOptions configures a fabric.
+	FabricOptions = fabric.Options
+	// CorruptionField selects the TCAM field a corruption event flips.
+	CorruptionField = tcam.CorruptionField
+)
+
+// TCAM corruption fields.
+const (
+	CorruptVRF    = tcam.CorruptVRF
+	CorruptSrcEPG = tcam.CorruptSrcEPG
+	CorruptDstEPG = tcam.CorruptDstEPG
+	CorruptPort   = tcam.CorruptPort
+)
+
+// NewFabric creates a deployment fabric for the policy and topology.
+var NewFabric = fabric.New
+
+// Logs.
+type (
+	// ChangeLog is the controller's policy change log.
+	ChangeLog = faultlog.ChangeLog
+	// FaultLog is the device fault log.
+	FaultLog = faultlog.FaultLog
+	// FaultCode identifies a physical fault class.
+	FaultCode = faultlog.FaultCode
+)
+
+// Fault codes.
+const (
+	FaultTCAMOverflow      = faultlog.FaultTCAMOverflow
+	FaultSwitchUnreachable = faultlog.FaultSwitchUnreachable
+	FaultAgentCrash        = faultlog.FaultAgentCrash
+	FaultControlChannel    = faultlog.FaultControlChannel
+	FaultTCAMCorruption    = faultlog.FaultTCAMCorruption
+)
+
+// Risk models and localization.
+type (
+	// RiskModel is a bipartite shared-risk model.
+	RiskModel = risk.Model
+	// ControllerModelOptions configures controller-model construction.
+	ControllerModelOptions = risk.ControllerModelOptions
+	// Deployment is the compiled per-switch logical rule set.
+	Deployment = compile.Deployment
+	// LocalizationResult is the output of SCOUT or SCORE.
+	LocalizationResult = localize.Result
+	// ChangeOracle answers "was this object recently changed?".
+	ChangeOracle = localize.ChangeOracle
+	// ChangeLogOracle adapts a controller change log as a ChangeOracle.
+	ChangeLogOracle = localize.ChangeLogOracle
+	// NoChanges is an oracle that never reports changes.
+	NoChanges = localize.NoChanges
+)
+
+var (
+	// BuildSwitchRiskModel builds the per-switch risk model.
+	BuildSwitchRiskModel = risk.BuildSwitchModel
+	// BuildControllerRiskModel builds the fabric-wide risk model.
+	BuildControllerRiskModel = risk.BuildControllerModel
+	// AugmentSwitchRiskModel marks failures from missing rules in a
+	// switch risk model.
+	AugmentSwitchRiskModel = risk.AugmentSwitchModel
+	// AugmentControllerRiskModel marks failures from a switch's missing
+	// rules in the controller risk model.
+	AugmentControllerRiskModel = risk.AugmentControllerModel
+	// Localize runs the SCOUT algorithm on an annotated risk model.
+	Localize = localize.Scout
+	// LocalizeSCORE runs the SCORE baseline with a hit-ratio threshold.
+	LocalizeSCORE = localize.Score
+	// LocalizeMaxCoverage runs the unconstrained greedy set-cover
+	// baseline (maximum recall, poor precision).
+	LocalizeMaxCoverage = localize.MaxCoverage
+)
+
+// Workload synthesis (the paper's §VI-A datasets).
+type (
+	// WorkloadSpec parameterizes synthetic policy generation.
+	WorkloadSpec = workload.Spec
+)
+
+var (
+	// GenerateWorkload synthesizes a policy and topology from a spec.
+	GenerateWorkload = workload.Generate
+	// ProductionWorkloadSpec mirrors the paper's production cluster.
+	ProductionWorkloadSpec = workload.ProductionSpec
+	// TestbedWorkloadSpec mirrors the paper's hardware testbed policy.
+	TestbedWorkloadSpec = workload.TestbedSpec
+)
+
+// State collection.
+type (
+	// Collector snapshots fabric TCAM state into bounded epoch history.
+	Collector = collect.Collector
+	// Epoch is one immutable TCAM collection.
+	Epoch = collect.Epoch
+	// SwitchDelta is a per-switch rule difference between epochs.
+	SwitchDelta = collect.SwitchDelta
+)
+
+var (
+	// NewCollector creates a collector over a fabric.
+	NewCollector = collect.New
+	// DiffEpochs compares two epochs switch by switch.
+	DiffEpochs = collect.Diff
+)
+
+// Scenario scripting.
+type (
+	// Scenario is a declarative, replayable fault scenario.
+	Scenario = scenario.Scenario
+	// ScenarioStep is one scenario action.
+	ScenarioStep = scenario.Step
+	// ScenarioResult summarizes a scenario run.
+	ScenarioResult = scenario.Result
+)
+
+// ParseScenario decodes and validates a JSON scenario.
+var ParseScenario = scenario.Parse
+
+// Correlation.
+type (
+	// CorrelationReport ranks physical root causes for a hypothesis.
+	CorrelationReport = correlate.Report
+	// FaultSignature describes a known physical fault class.
+	FaultSignature = correlate.Signature
+)
+
+// DefaultFaultSignatures returns the built-in fault signatures.
+var DefaultFaultSignatures = correlate.DefaultSignatures

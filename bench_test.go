@@ -1,0 +1,293 @@
+// Benchmark harness: one benchmark per paper table/figure (§VI), plus the
+// DESIGN.md ablations. Each benchmark regenerates its experiment at a
+// reduced-but-representative scale so `go test -bench=.` completes in
+// minutes; cmd/scout-bench runs the same experiments at paper scale.
+//
+// The figures' qualitative shapes (who wins, by how much, where curves
+// bend) are asserted by the test suite in internal/eval; the benchmarks
+// here measure the cost of regenerating each figure and print the headline
+// metrics for eyeballing against the paper (recorded in EXPERIMENTS.md).
+package scout_test
+
+import (
+	"sync"
+	"testing"
+
+	"scout"
+	"scout/internal/eval"
+	"scout/internal/localize"
+	"scout/internal/risk"
+	"scout/internal/workload"
+)
+
+// benchScale keeps -bench runs affordable; scout-bench uses 1.0.
+const benchScale = 0.15
+
+var (
+	simEnvOnce sync.Once
+	simEnv     *eval.Env
+	simEnvErr  error
+)
+
+func benchEnv(b *testing.B) *eval.Env {
+	b.Helper()
+	simEnvOnce.Do(func() {
+		simEnv, simEnvErr = eval.NewEnv(eval.SimSpec(benchScale), 42)
+	})
+	if simEnvErr != nil {
+		b.Fatal(simEnvErr)
+	}
+	return simEnv
+}
+
+// BenchmarkFigure3 regenerates the object-sharing CDFs (Figure 3).
+func BenchmarkFigure3(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.Figure3(env)
+		if len(res.Series["vrfs"]) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure7Testbed regenerates the testbed suspect-set-reduction
+// panel (Figure 7a): 200 single-object faults, γ per suspect-set bucket.
+func BenchmarkFigure7Testbed(b *testing.B) {
+	env, err := eval.NewEnv(workload.TestbedSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SuspectSetReduction(env, eval.GammaOptions{
+			Faults:  200,
+			Buckets: [][2]int{{1, 10}, {10, 20}, {20, 40}, {40, 60}},
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFigure7Sim regenerates the simulation panel (Figure 7b) at
+// reduced fault count per iteration.
+func BenchmarkFigure7Sim(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SuspectSetReduction(env, eval.GammaOptions{
+			Faults:  150,
+			Buckets: [][2]int{{1, 10}, {10, 50}, {50, 100}, {100, 500}, {500, 1000}},
+			Seed:    int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFigure8 regenerates the switch-risk-model accuracy comparison
+// (Figure 8): SCOUT vs SCORE-0.6 vs SCORE-1 over 1..10 faults.
+func BenchmarkFigure8(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SwitchModelAccuracy(env, eval.AccuracyOptions{
+			MaxFaults: 10, Runs: 5, Noise: 5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportHeadline(b, res)
+	}
+}
+
+// BenchmarkFigure9 regenerates the controller-risk-model accuracy
+// comparison (Figure 9).
+func BenchmarkFigure9(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.ControllerModelAccuracy(env, eval.AccuracyOptions{
+			MaxFaults: 10, Runs: 5, Noise: 5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportHeadline(b, res)
+	}
+}
+
+// BenchmarkFigure10 regenerates the end-to-end testbed comparison
+// (Figure 10): full pipeline per run (fabric, TCAM faults, BDD check,
+// augmentation, localization).
+func BenchmarkFigure10(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TestbedAccuracy(workload.TestbedSpec(), eval.TestbedOptions{
+			MaxFaults: 5, Runs: 3, Noise: 3, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportHeadline(b, res)
+	}
+}
+
+// BenchmarkScalability measures controller-model build + SCOUT runtime at
+// growing switch counts (§VI-B; the paper reports ~45 s at 200 switches
+// and ~130 s at 500 on a 4-core 2.6 GHz machine).
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Scalability([]int{10, 25, 50}, 5, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.LocalizeSecs, "localize-s@50sw")
+		b.ReportMetric(float64(last.Elements), "elements@50sw")
+	}
+}
+
+// BenchmarkAblationNoChangeLog quantifies the recall the change-log stage
+// buys (DESIGN.md §5): SCOUT stage 1 alone vs the full algorithm.
+func BenchmarkAblationNoChangeLog(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.ControllerModelAccuracy(env, eval.AccuracyOptions{
+			MaxFaults:  5,
+			Runs:       5,
+			Noise:      5,
+			Seed:       int64(i),
+			Algorithms: []eval.Algorithm{eval.StandardAlgorithms()[0], eval.ScoutNoChangeLog()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, _ := res.Curve("SCOUT")
+		ablated, _ := res.Curve("SCOUT-nolog")
+		b.ReportMetric(full.MeanRecall()-ablated.MeanRecall(), "recall-gain")
+	}
+}
+
+// BenchmarkScoutAlgorithm measures the raw localization algorithm on a
+// pre-annotated controller model (the §VI-B scalability kernel).
+func BenchmarkScoutAlgorithm(b *testing.B) {
+	env := benchEnv(b)
+	model, changed := annotatedModel(b, env, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := localize.Scout(model, localize.SetOracle(changed))
+		if len(res.Hypothesis) == 0 {
+			b.Fatal("no hypothesis")
+		}
+	}
+}
+
+// BenchmarkScoreAlgorithm measures the SCORE baseline on the same model.
+func BenchmarkScoreAlgorithm(b *testing.B) {
+	env := benchEnv(b)
+	model, _ := annotatedModel(b, env, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		localize.Score(model, 1.0)
+	}
+}
+
+func annotatedModel(b *testing.B, env *eval.Env, faults int) (*risk.Model, map[scout.ObjectRef]struct{}) {
+	b.Helper()
+	model := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	rng := newRand(7)
+	sc, err := workload.NewScenario(rng, env.Index.Objects(), faults, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload.ApplyToControllerModel(model, env.Deployment, env.Index, sc, rng)
+	return model, sc.Changed
+}
+
+// BenchmarkControllerModelBuild measures risk-model construction, the
+// dominant cost at large switch counts.
+func BenchmarkControllerModelBuild(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+		if m.NumElements() == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// BenchmarkCompile measures policy compilation into per-switch L-type
+// rules.
+func BenchmarkCompile(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compileEnv(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndAnalyze measures the full public-API pipeline on the
+// 3-tier example with one injected fault (the quickstart path).
+func BenchmarkEndToEndAnalyze(b *testing.B) {
+	pol := threeTierPolicy()
+	topo := scout.TopologyFromPolicy(pol)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.InjectObjectFault(scout.FilterRef(700), 1.0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := scout.NewAnalyzer().Analyze(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Consistent {
+			b.Fatal("fault not detected")
+		}
+	}
+}
+
+// BenchmarkEquivBDD and BenchmarkEquivNaive compare the exact ROBDD
+// checker against the key-set differ (DESIGN.md ablation: the naive
+// differ is faster but blind to semantic overlap).
+func BenchmarkEquivBDD(b *testing.B) {
+	benchEquiv(b, false)
+}
+
+// BenchmarkEquivNaive is the naive key-set counterpart of
+// BenchmarkEquivBDD.
+func BenchmarkEquivNaive(b *testing.B) {
+	benchEquiv(b, true)
+}
+
+func reportHeadline(b *testing.B, res *eval.AccuracyResult) {
+	b.Helper()
+	scoutCurve, ok := res.Curve("SCOUT")
+	if !ok {
+		b.Fatal("missing SCOUT curve")
+	}
+	b.ReportMetric(scoutCurve.MeanRecall(), "scout-recall")
+	b.ReportMetric(scoutCurve.MeanPrecision(), "scout-precision")
+	if score, ok := res.Curve("SCORE-1"); ok {
+		b.ReportMetric(score.MeanRecall(), "score1-recall")
+	}
+}

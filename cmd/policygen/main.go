@@ -1,0 +1,81 @@
+// Command policygen synthesizes a network policy calibrated to the
+// paper's dataset statistics and writes it as JSON, for use with
+// cmd/scout.
+//
+// Usage:
+//
+//	policygen -spec production -scale 0.25 -seed 42 -out policy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scout"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "policygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specName = flag.String("spec", "production", "base spec: production or testbed")
+		scale    = flag.Float64("scale", 1.0, "scale factor applied to EPG/contract/filter/pair counts")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var spec scout.WorkloadSpec
+	switch *specName {
+	case "production":
+		spec = scout.ProductionWorkloadSpec()
+	case "testbed":
+		spec = scout.TestbedWorkloadSpec()
+	default:
+		return fmt.Errorf("unknown spec %q (want production or testbed)", *specName)
+	}
+	if *scale != 1.0 {
+		if *scale <= 0 {
+			return fmt.Errorf("scale must be positive")
+		}
+		shrink := func(n int) int {
+			v := int(float64(n) * *scale)
+			if v < 2 {
+				v = 2
+			}
+			return v
+		}
+		spec.EPGs = shrink(spec.EPGs)
+		spec.Contracts = shrink(spec.Contracts)
+		spec.Filters = shrink(spec.Filters)
+		spec.TargetPairs = shrink(spec.TargetPairs)
+		spec.Switches = shrink(spec.Switches)
+	}
+
+	pol, _, err := scout.GenerateWorkload(spec, *seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pol, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+
+	st := pol.Stats()
+	fmt.Fprintf(os.Stderr, "generated %s policy: %d VRFs, %d EPGs, %d endpoints, %d contracts, %d filters, %d EPG pairs\n",
+		spec.Name, st.VRFs, st.EPGs, st.Endpoints, st.Contracts, st.Filters, st.EPGPairs)
+
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

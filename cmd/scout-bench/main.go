@@ -1,0 +1,200 @@
+// Command scout-bench regenerates the paper's evaluation tables and
+// figures (§VI). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	scout-bench -experiment all
+//	scout-bench -experiment fig8 -scale 1.0 -runs 30
+//	scout-bench -experiment scale -switches 10,50,100,200,500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"scout/internal/eval"
+	"scout/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scout-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|all")
+		scale      = flag.Float64("scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
+		seed       = flag.Int64("seed", 42, "experiment seed")
+		runs       = flag.Int("runs", 30, "repetitions per accuracy data point")
+		maxFaults  = flag.Int("faults", 10, "max simultaneous faults for accuracy experiments")
+		noise      = flag.Int("noise", 5, "healthy recently-changed objects per scenario")
+		switchList = flag.String("switches", "10,25,50,100,200", "comma-separated switch counts for -experiment scale")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+	simEnv := func() (*eval.Env, error) {
+		start := time.Now()
+		env, err := eval.NewEnv(eval.SimSpec(*scale), *seed)
+		if err != nil {
+			return nil, err
+		}
+		st := env.Policy.Stats()
+		fmt.Printf("[workload] production-like scale=%.2f: %d EPGs, %d contracts, %d filters, %d pairs (%v)\n\n",
+			*scale, st.EPGs, st.Contracts, st.Filters, st.EPGPairs, time.Since(start).Round(time.Millisecond))
+		return env, nil
+	}
+
+	var env *eval.Env
+	getEnv := func() (*eval.Env, error) {
+		if env != nil {
+			return env, nil
+		}
+		var err error
+		env, err = simEnv()
+		return env, err
+	}
+
+	if want("fig3") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 3: EPG pairs per object (CDF checkpoints) ==")
+		fmt.Println(eval.Figure3(e).Render())
+	}
+
+	if want("fig7a") {
+		fmt.Println("== Figure 7(a): suspect-set reduction γ, testbed (200 faults) ==")
+		tb, err := eval.NewEnv(workload.TestbedSpec(), *seed)
+		if err != nil {
+			return err
+		}
+		res, err := eval.SuspectSetReduction(tb, eval.GammaOptions{
+			Faults:  200,
+			Buckets: [][2]int{{1, 10}, {10, 20}, {20, 40}, {40, 60}},
+			Noise:   *noise,
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if want("fig7b") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 7(b): suspect-set reduction γ, simulation (1500 faults) ==")
+		res, err := eval.SuspectSetReduction(e, eval.GammaOptions{
+			Faults:  1500,
+			Buckets: [][2]int{{1, 10}, {10, 50}, {50, 100}, {100, 500}, {500, 1000}},
+			Noise:   *noise,
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	accOpts := eval.AccuracyOptions{MaxFaults: *maxFaults, Runs: *runs, Noise: *noise, Seed: *seed}
+
+	if want("fig8") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 8: precision/recall on the switch risk model ==")
+		res, err := eval.SwitchModelAccuracy(e, accOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if want("fig9") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 9: precision/recall on the controller risk model ==")
+		res, err := eval.ControllerModelAccuracy(e, accOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if want("fig10") {
+		fmt.Println("== Figure 10: testbed end-to-end, SCOUT vs SCORE-1 ==")
+		res, err := eval.TestbedAccuracy(workload.TestbedSpec(), eval.TestbedOptions{
+			MaxFaults: *maxFaults,
+			Runs:      minInt(*runs, 10), // paper uses 10 runs on the testbed
+			Noise:     *noise,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if want("ablation") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Ablation: SCOUT with vs without the change-log stage ==")
+		opts := accOpts
+		opts.Algorithms = append(eval.StandardAlgorithms(), eval.ScoutNoChangeLog())
+		res, err := eval.ControllerModelAccuracy(e, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+
+	if want("scale") {
+		fmt.Println("== Scalability: SCOUT runtime vs switch count (§VI-B) ==")
+		counts, err := parseInts(*switchList)
+		if err != nil {
+			return err
+		}
+		res, err := eval.Scalability(counts, 5, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad switch count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

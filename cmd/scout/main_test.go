@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+
+	"scout"
+)
+
+func TestParseFault(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantRef  scout.ObjectRef
+		wantFrac float64
+		wantErr  bool
+	}{
+		{"filter:5003@1.0", scout.FilterRef(5003), 1.0, false},
+		{"epg:1004@0.4", scout.EPGRef(1004), 0.4, false},
+		{"vrf:101", scout.VRFRef(101), 1.0, false}, // fraction defaults to 1
+		{"contract:3000@0.25", scout.ContractRef(3000), 0.25, false},
+		{"bogus:1@1.0", scout.ObjectRef{}, 0, true},
+		{"filter:abc@1.0", scout.ObjectRef{}, 0, true},
+		{"filter:1@xyz", scout.ObjectRef{}, 0, true},
+		{"", scout.ObjectRef{}, 0, true},
+	}
+	for _, tt := range tests {
+		ref, frac, err := parseFault(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseFault(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if ref != tt.wantRef || frac != tt.wantFrac {
+			t.Errorf("parseFault(%q) = %v@%v, want %v@%v", tt.in, ref, frac, tt.wantRef, tt.wantFrac)
+		}
+	}
+}
+
+func TestLoadPolicyGenerates(t *testing.T) {
+	pol, topo, err := loadPolicy("", "testbed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Stats().EPGs == 0 || topo.NumSwitches() == 0 {
+		t.Error("generated policy empty")
+	}
+	if _, _, err := loadPolicy("", "nope", 1); err == nil {
+		t.Error("unknown spec must fail")
+	}
+	if _, _, err := loadPolicy("/nonexistent/file.json", "", 1); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestLoadPolicyFromFile(t *testing.T) {
+	pol, _, err := loadPolicy("", "testbed", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/policy.json"
+	data, err := marshalPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	loaded, topo, err := loadPolicy(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != pol.Stats() {
+		t.Errorf("round trip stats: %+v vs %+v", loaded.Stats(), pol.Stats())
+	}
+	if topo.NumSwitches() == 0 {
+		t.Error("topology not derived")
+	}
+}

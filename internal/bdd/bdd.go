@@ -1,0 +1,325 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with hash-consing, the data structure behind the paper's L-T
+// equivalence checker (§III-C): two rule sets are behaviourally equal iff
+// their ROBDDs have the same root node.
+//
+// The implementation is a classic shared-node manager: every (variable,
+// low, high) triple is interned in a unique table so structural equality
+// is pointer (node-ID) equality, and binary operations are memoized in an
+// operation cache. Only the standard boolean algebra needed by the
+// checker is provided: And, Or, Xor, Not, Diff, plus satisfiability
+// counting and cube enumeration used by tests and the missing-rule
+// extractor.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a BDD node within its Manager. The terminals False and
+// True are pre-allocated in every manager.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use level = maxLevel sentinel
+	lo, hi Node
+}
+
+type nodeKey struct {
+	level  int32
+	lo, hi Node
+}
+
+type opKind uint8
+
+const (
+	opAnd opKind = iota + 1
+	opOr
+	opXor
+)
+
+type opKey struct {
+	op   opKind
+	a, b Node
+}
+
+const terminalLevel = math.MaxInt32
+
+// Manager owns a shared BDD node pool over a fixed number of boolean
+// variables. Variable 0 is the topmost in the ordering. A Manager is not
+// safe for concurrent use.
+type Manager struct {
+	numVars int
+	nodes   []nodeData
+	unique  map[nodeKey]Node
+	cache   map[opKey]Node
+}
+
+// NewManager creates a manager over numVars boolean variables.
+func NewManager(numVars int) *Manager {
+	m := &Manager{
+		numVars: numVars,
+		nodes:   make([]nodeData, 2, 1024),
+		unique:  make(map[nodeKey]Node, 1024),
+		cache:   make(map[opKey]Node, 1024),
+	}
+	m.nodes[False] = nodeData{level: terminalLevel}
+	m.nodes[True] = nodeData{level: terminalLevel}
+	return m
+}
+
+// NumVars returns the number of variables in the ordering.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live nodes (including the two terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD for the single variable v (true branch to True).
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for the negation of variable v.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(int32(v), True, False)
+}
+
+// mk interns the node (level, lo, hi), applying the ROBDD reduction rule.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := nodeKey{level: level, lo: lo, hi: hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	return n
+}
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Node) Node { return m.apply(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Node) Node { return m.apply(opOr, a, b) }
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b Node) Node { return m.apply(opXor, a, b) }
+
+// Not returns ¬a.
+func (m *Manager) Not(a Node) Node { return m.apply(opXor, a, True) }
+
+// Diff returns a ∧ ¬b — the satisfying assignments of a not covered by b.
+// This is the "missing behaviour" operator of the equivalence checker.
+func (m *Manager) Diff(a, b Node) Node { return m.And(a, m.Not(b)) }
+
+// Implies reports whether a → b is a tautology (a's onset ⊆ b's onset).
+func (m *Manager) Implies(a, b Node) bool { return m.Diff(a, b) == False }
+
+// Equiv reports whether a and b denote the same boolean function. Because
+// ROBDDs are canonical this is node-ID equality.
+func (m *Manager) Equiv(a, b Node) bool { return a == b }
+
+func (m *Manager) apply(op opKind, a, b Node) Node {
+	// Terminal short-circuits.
+	switch op {
+	case opAnd:
+		switch {
+		case a == False || b == False:
+			return False
+		case a == True:
+			return b
+		case b == True:
+			return a
+		case a == b:
+			return a
+		}
+	case opOr:
+		switch {
+		case a == True || b == True:
+			return True
+		case a == False:
+			return b
+		case b == False:
+			return a
+		case a == b:
+			return a
+		}
+	case opXor:
+		switch {
+		case a == b:
+			return False
+		case a == False:
+			return b
+		case b == False:
+			return a
+		}
+	}
+
+	// Normalize operand order for the commutative ops to halve the cache.
+	ca, cb := a, b
+	if cb < ca {
+		ca, cb = cb, ca
+	}
+	key := opKey{op: op, a: ca, b: cb}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+
+	da, db := m.nodes[a], m.nodes[b]
+	var level int32
+	var aLo, aHi, bLo, bHi Node
+	switch {
+	case da.level == db.level:
+		level, aLo, aHi, bLo, bHi = da.level, da.lo, da.hi, db.lo, db.hi
+	case da.level < db.level:
+		level, aLo, aHi, bLo, bHi = da.level, da.lo, da.hi, b, b
+	default:
+		level, aLo, aHi, bLo, bHi = db.level, a, a, db.lo, db.hi
+	}
+	r := m.mk(level, m.apply(op, aLo, bLo), m.apply(op, aHi, bHi))
+	m.cache[key] = r
+	return r
+}
+
+// Cube returns the conjunction of literals: for each (variable, value)
+// pair, variable if value is true, its negation otherwise. Literals must
+// be given in ascending variable order for best performance but any order
+// is accepted.
+func (m *Manager) Cube(literals map[int]bool) Node {
+	// Build bottom-up in descending variable order for linear node count.
+	vars := make([]int, 0, len(literals))
+	for v := range literals {
+		vars = append(vars, v)
+	}
+	// insertion sort: literal maps are small (tens of variables)
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	acc := True
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		if literals[v] {
+			acc = m.mk(int32(v), False, acc)
+		} else {
+			acc = m.mk(int32(v), acc, False)
+		}
+	}
+	return acc
+}
+
+// SatCount returns the number of satisfying assignments of n over the full
+// variable set, as a float64 (counts can exceed 2^53 for wide managers;
+// the checker only compares counts for equality at small widths in tests).
+func (m *Manager) SatCount(n Node) float64 {
+	memo := make(map[Node]float64)
+	var count func(Node) float64
+	count = func(n Node) float64 {
+		if n == False {
+			return 0
+		}
+		if n == True {
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		d := m.nodes[n]
+		loLevel := m.levelOf(d.lo)
+		hiLevel := m.levelOf(d.hi)
+		c := count(d.lo)*math.Pow(2, float64(loLevel-d.level-1)) +
+			count(d.hi)*math.Pow(2, float64(hiLevel-d.level-1))
+		memo[n] = c
+		return c
+	}
+	top := m.levelOf(n)
+	return count(n) * math.Pow(2, float64(top))
+}
+
+func (m *Manager) levelOf(n Node) int32 {
+	l := m.nodes[n].level
+	if l == terminalLevel {
+		return int32(m.numVars)
+	}
+	return l
+}
+
+// Lit is one literal of a satisfying cube: -1 don't-care, 0 false, 1 true.
+type Lit int8
+
+// Don't-care, false, and true literal values.
+const (
+	LitAny   Lit = -1
+	LitFalse Lit = 0
+	LitTrue  Lit = 1
+)
+
+// AllSat invokes fn for every satisfying cube of n. The cube slice is
+// reused between calls; fn must copy it if it retains it. fn returns false
+// to stop the enumeration early.
+func (m *Manager) AllSat(n Node, fn func(cube []Lit) bool) {
+	cube := make([]Lit, m.numVars)
+	for i := range cube {
+		cube[i] = LitAny
+	}
+	m.allSat(n, cube, fn)
+}
+
+func (m *Manager) allSat(n Node, cube []Lit, fn func([]Lit) bool) bool {
+	if n == False {
+		return true
+	}
+	if n == True {
+		return fn(cube)
+	}
+	d := m.nodes[n]
+	v := int(d.level)
+	cube[v] = LitFalse
+	if !m.allSat(d.lo, cube, fn) {
+		cube[v] = LitAny
+		return false
+	}
+	cube[v] = LitTrue
+	if !m.allSat(d.hi, cube, fn) {
+		cube[v] = LitAny
+		return false
+	}
+	cube[v] = LitAny
+	return true
+}
+
+// Eval evaluates n under the given full assignment (indexed by variable).
+func (m *Manager) Eval(n Node, assignment []bool) bool {
+	for n != False && n != True {
+		d := m.nodes[n]
+		if assignment[d.level] {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == True
+}
+
+// ClearCache drops the operation cache (the unique table is kept so node
+// identity is preserved). Useful between large unrelated computations.
+func (m *Manager) ClearCache() {
+	m.cache = make(map[opKey]Node, 1024)
+}

@@ -1,0 +1,71 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkApplyChain measures a long And/Or chain over disjoint cubes —
+// the checker's dominant workload shape.
+func BenchmarkApplyChain(b *testing.B) {
+	const nVars = 72
+	m := NewManager(nVars)
+	rng := rand.New(rand.NewSource(1))
+	cubes := make([]Node, 256)
+	for i := range cubes {
+		lits := make(map[int]bool, 16)
+		for v := 0; v < 16; v++ {
+			lits[v*4] = rng.Intn(2) == 0
+		}
+		cubes[i] = m.Cube(lits)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := False
+		for _, c := range cubes {
+			acc = m.Or(acc, c)
+		}
+		if acc == False {
+			b.Fatal("union must be non-empty")
+		}
+	}
+}
+
+// BenchmarkCube measures literal-cube construction.
+func BenchmarkCube(b *testing.B) {
+	m := NewManager(72)
+	lits := make(map[int]bool, 48)
+	for v := 0; v < 48; v++ {
+		lits[v] = v%3 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Cube(lits)
+	}
+}
+
+// BenchmarkSatCount measures model counting on a mid-size BDD.
+func BenchmarkSatCount(b *testing.B) {
+	m := NewManager(24)
+	rng := rand.New(rand.NewSource(2))
+	n, _ := randomFormula(m, rng, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SatCount(n)
+	}
+}
+
+// BenchmarkEval measures point evaluation.
+func BenchmarkEval(b *testing.B) {
+	m := NewManager(24)
+	rng := rand.New(rand.NewSource(3))
+	n, _ := randomFormula(m, rng, 10)
+	assign := make([]bool, 24)
+	for i := range assign {
+		assign[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Eval(n, assign)
+	}
+}

@@ -1,0 +1,326 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := NewManager(4)
+	if m.NumVars() != 4 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+	v := m.Var(0)
+	if v == False || v == True {
+		t.Fatal("Var(0) must be a fresh node")
+	}
+	if m.Var(0) != v {
+		t.Error("Var must hash-cons")
+	}
+	if m.NVar(0) == v {
+		t.Error("NVar(0) must differ from Var(0)")
+	}
+}
+
+func TestBasicAlgebra(t *testing.T) {
+	m := NewManager(3)
+	a, b := m.Var(0), m.Var(1)
+	tests := []struct {
+		name string
+		got  Node
+		want Node
+	}{
+		{"and-false", m.And(a, False), False},
+		{"and-true", m.And(a, True), a},
+		{"and-self", m.And(a, a), a},
+		{"or-true", m.Or(a, True), True},
+		{"or-false", m.Or(a, False), a},
+		{"or-self", m.Or(a, a), a},
+		{"xor-self", m.Xor(a, a), False},
+		{"xor-false", m.Xor(a, False), a},
+		{"not-not", m.Not(m.Not(a)), a},
+		{"not-true", m.Not(True), False},
+		{"excluded-middle", m.Or(a, m.Not(a)), True},
+		{"contradiction", m.And(a, m.Not(a)), False},
+		{"diff-self", m.Diff(a, a), False},
+		{"diff-false", m.Diff(a, False), a},
+		{"absorb", m.Or(a, m.And(a, b)), a},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s: got node %d, want node %d", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestCommutativityAndDeMorgan(t *testing.T) {
+	m := NewManager(4)
+	a := m.And(m.Var(0), m.Not(m.Var(2)))
+	b := m.Or(m.Var(1), m.Var(3))
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("And must commute")
+	}
+	if m.Or(a, b) != m.Or(b, a) {
+		t.Error("Or must commute")
+	}
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Error("De Morgan: ¬(a∧b) = ¬a∨¬b")
+	}
+	if m.Not(m.Or(a, b)) != m.And(m.Not(a), m.Not(b)) {
+		t.Error("De Morgan: ¬(a∨b) = ¬a∧¬b")
+	}
+}
+
+// randomFormula builds a random boolean function bottom-up and in parallel
+// evaluates it as a truth table, giving an exact oracle.
+func randomFormula(m *Manager, rng *rand.Rand, depth int) (Node, []bool) {
+	nVars := m.NumVars()
+	table := func(f func(assign uint) bool) []bool {
+		tt := make([]bool, 1<<nVars)
+		for a := uint(0); a < uint(len(tt)); a++ {
+			tt[a] = f(a)
+		}
+		return tt
+	}
+	if depth == 0 || rng.Intn(3) == 0 {
+		v := rng.Intn(nVars)
+		if rng.Intn(2) == 0 {
+			return m.Var(v), table(func(a uint) bool { return a&(1<<v) != 0 })
+		}
+		return m.NVar(v), table(func(a uint) bool { return a&(1<<v) == 0 })
+	}
+	l, lt := randomFormula(m, rng, depth-1)
+	r, rt := randomFormula(m, rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return m.And(l, r), table(func(a uint) bool { return lt[a] && rt[a] })
+	case 1:
+		return m.Or(l, r), table(func(a uint) bool { return lt[a] || rt[a] })
+	case 2:
+		return m.Xor(l, r), table(func(a uint) bool { return lt[a] != rt[a] })
+	default:
+		return m.Not(l), table(func(a uint) bool { return !lt[a] })
+	}
+}
+
+func TestRandomFormulaMatchesTruthTable(t *testing.T) {
+	const nVars = 6
+	f := func(seed int64) bool {
+		m := NewManager(nVars)
+		rng := rand.New(rand.NewSource(seed))
+		n, tt := randomFormula(m, rng, 5)
+		for a := uint(0); a < 1<<nVars; a++ {
+			assign := make([]bool, nVars)
+			for v := 0; v < nVars; v++ {
+				assign[v] = a&(1<<v) != 0
+			}
+			if m.Eval(n, assign) != tt[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicityQuick(t *testing.T) {
+	// Two formulas with equal truth tables must map to the same node.
+	const nVars = 5
+	f := func(seed int64) bool {
+		m := NewManager(nVars)
+		rng := rand.New(rand.NewSource(seed))
+		n1, t1 := randomFormula(m, rng, 4)
+		n2, t2 := randomFormula(m, rng, 4)
+		equalTables := true
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				equalTables = false
+				break
+			}
+		}
+		return equalTables == (n1 == n2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := NewManager(4)
+	tests := []struct {
+		name string
+		n    Node
+		want float64
+	}{
+		{"false", False, 0},
+		{"true", True, 16},
+		{"var", m.Var(0), 8},
+		{"and2", m.And(m.Var(0), m.Var(1)), 4},
+		{"or2", m.Or(m.Var(0), m.Var(1)), 12},
+		{"xor", m.Xor(m.Var(2), m.Var(3)), 8},
+	}
+	for _, tt := range tests {
+		if got := m.SatCount(tt.n); got != tt.want {
+			t.Errorf("%s: SatCount = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSatCountMatchesTruthTableQuick(t *testing.T) {
+	const nVars = 6
+	f := func(seed int64) bool {
+		m := NewManager(nVars)
+		rng := rand.New(rand.NewSource(seed))
+		n, tt := randomFormula(m, rng, 5)
+		count := 0.0
+		for _, v := range tt {
+			if v {
+				count++
+			}
+		}
+		return m.SatCount(n) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := NewManager(4)
+	c := m.Cube(map[int]bool{0: true, 2: false})
+	if m.SatCount(c) != 4 { // two free variables
+		t.Errorf("cube SatCount = %v, want 4", m.SatCount(c))
+	}
+	if !m.Eval(c, []bool{true, false, false, true}) {
+		t.Error("cube should accept x0=1,x2=0")
+	}
+	if m.Eval(c, []bool{true, false, true, true}) {
+		t.Error("cube should reject x2=1")
+	}
+	// Equivalent to explicit conjunction.
+	want := m.And(m.Var(0), m.NVar(2))
+	if c != want {
+		t.Error("Cube must equal the literal conjunction")
+	}
+	if m.Cube(nil) != True {
+		t.Error("empty cube is True")
+	}
+}
+
+func TestAllSatEnumeratesDisjointCoveringCubes(t *testing.T) {
+	const nVars = 5
+	f := func(seed int64) bool {
+		m := NewManager(nVars)
+		rng := rand.New(rand.NewSource(seed))
+		n, tt := randomFormula(m, rng, 4)
+		covered := make([]bool, 1<<nVars)
+		ok := true
+		m.AllSat(n, func(cube []Lit) bool {
+			// Expand cube into concrete assignments.
+			expand(cube, 0, 0, func(a uint) {
+				if covered[a] {
+					ok = false // cubes must be disjoint
+				}
+				covered[a] = true
+				if !tt[a] {
+					ok = false // cube must be inside the onset
+				}
+			})
+			return true
+		})
+		for a, want := range tt {
+			if want && !covered[a] {
+				return false // full coverage
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func expand(cube []Lit, v int, acc uint, visit func(uint)) {
+	if v == len(cube) {
+		visit(acc)
+		return
+	}
+	switch cube[v] {
+	case LitFalse:
+		expand(cube, v+1, acc, visit)
+	case LitTrue:
+		expand(cube, v+1, acc|1<<uint(v), visit)
+	default:
+		expand(cube, v+1, acc, visit)
+		expand(cube, v+1, acc|1<<uint(v), visit)
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	m := NewManager(3)
+	n := m.Or(m.Var(0), m.Var(1))
+	calls := 0
+	m.AllSat(n, func([]Lit) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop: %d calls, want 1", calls)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	m := NewManager(3)
+	ab := m.And(m.Var(0), m.Var(1))
+	a := m.Var(0)
+	if !m.Implies(ab, a) {
+		t.Error("a∧b → a")
+	}
+	if m.Implies(a, ab) {
+		t.Error("a does not imply a∧b")
+	}
+	if !m.Implies(False, a) || !m.Implies(a, True) {
+		t.Error("False implies everything; everything implies True")
+	}
+}
+
+func TestClearCachePreservesIdentity(t *testing.T) {
+	m := NewManager(3)
+	x := m.And(m.Var(0), m.Var(1))
+	m.ClearCache()
+	y := m.And(m.Var(0), m.Var(1))
+	if x != y {
+		t.Error("identity must survive cache clears (unique table intact)")
+	}
+}
+
+func TestVarPanicsOutOfRange(t *testing.T) {
+	m := NewManager(2)
+	for _, v := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Var(%d) should panic", v)
+				}
+			}()
+			m.Var(v)
+		}()
+	}
+}
+
+func TestSizeGrowsAndIsShared(t *testing.T) {
+	m := NewManager(8)
+	before := m.Size()
+	f1 := m.And(m.Var(0), m.Var(1))
+	mid := m.Size()
+	if mid <= before {
+		t.Error("building a formula must allocate nodes")
+	}
+	f2 := m.And(m.Var(1), m.Var(0)) // same function
+	if f1 != f2 || m.Size() != mid {
+		t.Error("equal functions must share structure without new nodes")
+	}
+}

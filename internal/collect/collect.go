@@ -1,0 +1,141 @@
+// Package collect implements periodic network-state collection (§III-C:
+// "collecting the TCAM rules deployed across all switches periodically
+// and/or in an event-driven fashion"). A Collector snapshots the fabric's
+// TCAMs into immutable epochs, keeps a bounded history, and can diff
+// epochs to show which rules appeared or vanished between collections —
+// the raw material for trend analysis and post-incident forensics.
+package collect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scout/internal/fabric"
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// Epoch is one immutable collection of every switch's TCAM contents.
+type Epoch struct {
+	Seq  int                       `json:"seq"`
+	Time time.Time                 `json:"time"`
+	TCAM map[object.ID][]rule.Rule `json:"tcam"`
+}
+
+// RuleCount returns the total rules across switches in the epoch.
+func (e *Epoch) RuleCount() int {
+	n := 0
+	for _, rules := range e.TCAM {
+		n += len(rules)
+	}
+	return n
+}
+
+// Collector snapshots a fabric and retains a bounded epoch history. It is
+// safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	f       *fabric.Fabric
+	history []*Epoch
+	limit   int
+	nextSeq int
+}
+
+// New creates a collector keeping at most limit epochs (<= 0 keeps 16).
+func New(f *fabric.Fabric, limit int) *Collector {
+	if limit <= 0 {
+		limit = 16
+	}
+	return &Collector{f: f, limit: limit}
+}
+
+// Snapshot collects every switch's TCAM into a new epoch.
+func (c *Collector) Snapshot() *Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSeq++
+	e := &Epoch{
+		Seq:  c.nextSeq,
+		Time: c.f.Now(),
+		TCAM: c.f.CollectAll(),
+	}
+	c.history = append(c.history, e)
+	if len(c.history) > c.limit {
+		c.history = c.history[len(c.history)-c.limit:]
+	}
+	return e
+}
+
+// History returns the retained epochs, oldest first.
+func (c *Collector) History() []*Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Epoch(nil), c.history...)
+}
+
+// Latest returns the most recent epoch, if any.
+func (c *Collector) Latest() (*Epoch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.history) == 0 {
+		return nil, false
+	}
+	return c.history[len(c.history)-1], true
+}
+
+// Epoch returns the retained epoch with the given sequence number.
+func (c *Collector) Epoch(seq int) (*Epoch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.history {
+		if e.Seq == seq {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("collect: epoch %d not retained", seq)
+}
+
+// SwitchDelta is the per-switch difference between two epochs.
+type SwitchDelta struct {
+	Switch  object.ID
+	Added   []rule.Rule // present in the newer epoch only
+	Removed []rule.Rule // present in the older epoch only
+}
+
+// Diff compares two epochs and returns the per-switch rule deltas, sorted
+// by switch; switches with no change are omitted.
+func Diff(older, newer *Epoch) []SwitchDelta {
+	switches := make(map[object.ID]struct{})
+	for sw := range older.TCAM {
+		switches[sw] = struct{}{}
+	}
+	for sw := range newer.TCAM {
+		switches[sw] = struct{}{}
+	}
+	var out []SwitchDelta
+	for sw := range switches {
+		oldKeys := rule.KeySet(older.TCAM[sw])
+		newKeys := rule.KeySet(newer.TCAM[sw])
+		var delta SwitchDelta
+		delta.Switch = sw
+		for _, r := range newer.TCAM[sw] {
+			if _, ok := oldKeys[r.Key()]; !ok {
+				delta.Added = append(delta.Added, r)
+			}
+		}
+		for _, r := range older.TCAM[sw] {
+			if _, ok := newKeys[r.Key()]; !ok {
+				delta.Removed = append(delta.Removed, r)
+			}
+		}
+		if len(delta.Added)+len(delta.Removed) > 0 {
+			rule.Sort(delta.Added)
+			rule.Sort(delta.Removed)
+			out = append(out, delta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}

@@ -1,0 +1,149 @@
+package collect
+
+import (
+	"testing"
+
+	"scout/internal/fabric"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/rule"
+	"scout/internal/topo"
+)
+
+func deployedFabric(t *testing.T) *fabric.Fabric {
+	t.Helper()
+	p := policy.New("t")
+	p.AddVRF(policy.VRF{ID: 101})
+	p.AddEPG(policy.EPG{ID: 1, VRF: 101})
+	p.AddEPG(policy.EPG{ID: 2, VRF: 101})
+	p.AddEndpoint(policy.Endpoint{ID: 11, EPG: 1, Switch: 1})
+	p.AddEndpoint(policy.Endpoint{ID: 12, EPG: 2, Switch: 2})
+	p.AddFilter(policy.Filter{ID: 80, Entries: []policy.FilterEntry{policy.PortEntry(rule.ProtoTCP, 80)}})
+	p.AddContract(policy.Contract{ID: 201, Filters: []object.ID{80}})
+	p.Bind(1, 2, 201)
+	f, err := fabric.New(p, topo.FromPolicy(p), fabric.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSnapshotAndHistory(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	e1 := c.Snapshot()
+	if e1.Seq != 1 || e1.RuleCount() == 0 {
+		t.Fatalf("epoch 1 = %+v", e1)
+	}
+	e2 := c.Snapshot()
+	if e2.Seq != 2 {
+		t.Errorf("seq = %d", e2.Seq)
+	}
+	if len(c.History()) != 2 {
+		t.Errorf("history = %d", len(c.History()))
+	}
+	latest, ok := c.Latest()
+	if !ok || latest.Seq != 2 {
+		t.Errorf("latest = %+v, %v", latest, ok)
+	}
+	got, err := c.Epoch(1)
+	if err != nil || got.Seq != 1 {
+		t.Errorf("Epoch(1) = %+v, %v", got, err)
+	}
+	if _, err := c.Epoch(99); err == nil {
+		t.Error("unknown epoch must error")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 3)
+	for i := 0; i < 5; i++ {
+		c.Snapshot()
+	}
+	h := c.History()
+	if len(h) != 3 {
+		t.Fatalf("history = %d, want 3", len(h))
+	}
+	if h[0].Seq != 3 || h[2].Seq != 5 {
+		t.Errorf("retained epochs %d..%d, want 3..5", h[0].Seq, h[2].Seq)
+	}
+	// Evicted epoch no longer reachable.
+	if _, err := c.Epoch(1); err == nil {
+		t.Error("evicted epoch must be gone")
+	}
+}
+
+func TestDiffDetectsEviction(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	before := c.Snapshot()
+
+	evicted, err := f.EvictTCAM(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 {
+		t.Fatal("nothing evicted")
+	}
+	after := c.Snapshot()
+
+	deltas := Diff(before, after)
+	if len(deltas) != 1 || deltas[0].Switch != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(deltas[0].Removed) != 1 || len(deltas[0].Added) != 0 {
+		t.Errorf("delta = +%d -%d, want +0 -1", len(deltas[0].Added), len(deltas[0].Removed))
+	}
+	if deltas[0].Removed[0].Key() != evicted[0].Key() {
+		t.Error("removed rule mismatch")
+	}
+}
+
+func TestDiffDetectsAddition(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	before := c.Snapshot()
+	if err := f.AddFilter(policy.Filter{ID: 443, Entries: []policy.FilterEntry{policy.PortEntry(rule.ProtoTCP, 443)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilterToContract(201, 443); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	deltas := Diff(before, after)
+	if len(deltas) != 2 { // both switches gained rules
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	for _, d := range deltas {
+		if len(d.Added) == 0 || len(d.Removed) != 0 {
+			t.Errorf("switch %d delta = +%d -%d", d.Switch, len(d.Added), len(d.Removed))
+		}
+	}
+}
+
+func TestDiffIdenticalEpochsEmpty(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	a := c.Snapshot()
+	b := c.Snapshot()
+	if deltas := Diff(a, b); len(deltas) != 0 {
+		t.Errorf("identical epochs must diff empty: %+v", deltas)
+	}
+}
+
+func TestEpochImmutableAgainstFabricChanges(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	e := c.Snapshot()
+	countBefore := e.RuleCount()
+	if _, err := f.EvictTCAM(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.RuleCount() != countBefore {
+		t.Error("epoch must be an immutable snapshot")
+	}
+}

@@ -1,0 +1,195 @@
+// Package compile renders an abstract network policy into per-switch
+// logical TCAM rules (the paper's L-type rules).
+//
+// For every contract binding (A, B, contract) the compiler emits, for each
+// entry of each filter referenced by the contract, a pair of directional
+// rules (A→B and B→A, as in the paper's Figure 2), placed on every switch
+// that hosts endpoints of A or B. Each rule carries the provenance set
+// {VRF, EPG A, EPG B, contract, filter} — its shared risks.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/rule"
+	"scout/internal/topo"
+)
+
+// EntryPriority is the priority assigned to compiled filter-entry rules;
+// the default-deny tail sits below at priority 0.
+const EntryPriority = 10
+
+// Deployment is the compiled desired state: the logical rules every switch
+// should carry, plus lookup indexes used by risk-model construction.
+type Deployment struct {
+	// BySwitch maps a switch ID to its sorted, deduped logical rules
+	// (including the default-deny tail).
+	BySwitch map[object.ID][]rule.Rule
+
+	// Provenance maps a rule Key to the provenance set of the logical
+	// rule(s) with that key. Used to annotate missing T-type rules, which
+	// arrive from the equivalence checker without provenance.
+	Provenance map[rule.Key][]object.Ref
+
+	// PairRules maps (switch, EPG pair) to the keys of the logical rules
+	// serving that pair on that switch.
+	PairRules map[SwitchPair][]rule.Key
+}
+
+// SwitchPair identifies an EPG pair deployed on a specific switch — the
+// affected-element granularity of the controller risk model.
+type SwitchPair struct {
+	Switch object.ID
+	Pair   policy.EPGPair
+}
+
+// String renders the triplet like "S2:3-4".
+func (sp SwitchPair) String() string {
+	return fmt.Sprintf("S%d:%s", sp.Switch, sp.Pair)
+}
+
+// Less orders SwitchPairs deterministically.
+func (sp SwitchPair) Less(other SwitchPair) bool {
+	if sp.Switch != other.Switch {
+		return sp.Switch < other.Switch
+	}
+	return sp.Pair.Less(other.Pair)
+}
+
+// Compile renders the policy onto the topology. The policy must validate.
+func Compile(p *policy.Policy, t *topo.Topology) (*Deployment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	if err := t.Validate(p); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+
+	d := &Deployment{
+		BySwitch:   make(map[object.ID][]rule.Rule, t.NumSwitches()),
+		Provenance: make(map[rule.Key][]object.Ref),
+		PairRules:  make(map[SwitchPair][]rule.Key),
+	}
+	for _, sw := range t.Switches() {
+		d.BySwitch[sw] = nil
+	}
+
+	for _, b := range p.Bindings {
+		from := p.EPGs[b.From]
+		contract := p.Contracts[b.Contract]
+		pair := policy.MakeEPGPair(b.From, b.To)
+		switches := t.SwitchesForPair(b.From, b.To)
+		if len(switches) == 0 {
+			continue // pair has no attached endpoints anywhere
+		}
+		for _, fid := range contract.Filters {
+			filter := p.Filters[fid]
+			prov := []object.Ref{
+				object.VRF(from.VRF),
+				object.EPG(b.From),
+				object.EPG(b.To),
+				object.Contract(b.Contract),
+				object.Filter(fid),
+			}
+			object.SortRefs(prov)
+			for _, entry := range filter.Entries {
+				for _, dir := range directionalRules(from.VRF, b.From, b.To, entry, prov) {
+					key := dir.Key()
+					if _, ok := d.Provenance[key]; !ok {
+						d.Provenance[key] = dir.Provenance
+					}
+					for _, sw := range switches {
+						d.BySwitch[sw] = append(d.BySwitch[sw], dir)
+						sp := SwitchPair{Switch: sw, Pair: pair}
+						d.PairRules[sp] = append(d.PairRules[sp], key)
+					}
+				}
+			}
+		}
+	}
+
+	for sw, rules := range d.BySwitch {
+		rules = append(rules, rule.DefaultDeny())
+		rule.Sort(rules)
+		d.BySwitch[sw] = rule.Dedupe(rules)
+	}
+	for sp, keys := range d.PairRules {
+		d.PairRules[sp] = dedupeKeys(keys)
+	}
+	return d, nil
+}
+
+// directionalRules builds the two direction rules for a filter entry
+// between EPGs a and b. When a == b (intra-EPG contract) a single rule is
+// produced.
+func directionalRules(vrf, a, b object.ID, e policy.FilterEntry, prov []object.Ref) []rule.Rule {
+	mk := func(src, dst object.ID) rule.Rule {
+		return rule.Rule{
+			Match: rule.Match{
+				VRF:    vrf,
+				SrcEPG: src,
+				DstEPG: dst,
+				Proto:  e.Proto,
+				PortLo: e.PortLo,
+				PortHi: e.PortHi,
+			},
+			Action:     e.Action,
+			Priority:   EntryPriority,
+			Provenance: prov,
+		}
+	}
+	if a == b {
+		return []rule.Rule{mk(a, b)}
+	}
+	return []rule.Rule{mk(a, b), mk(b, a)}
+}
+
+// RulesFor returns the logical rules for a single switch (nil if unknown).
+func (d *Deployment) RulesFor(sw object.ID) []rule.Rule {
+	return d.BySwitch[sw]
+}
+
+// TotalRules returns the count of logical rules across all switches
+// (excluding each switch's default-deny tail).
+func (d *Deployment) TotalRules() int {
+	n := 0
+	for _, rules := range d.BySwitch {
+		for _, r := range rules {
+			if !r.IsDefaultDeny() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SwitchPairs returns the sorted (switch, pair) deployment footprint.
+func (d *Deployment) SwitchPairs() []SwitchPair {
+	out := make([]SwitchPair, 0, len(d.PairRules))
+	for sp := range d.PairRules {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// PairFor derives the EPG pair a rule key serves from its match fields.
+func PairFor(k rule.Key) policy.EPGPair {
+	return policy.MakeEPGPair(k.Match.SrcEPG, k.Match.DstEPG)
+}
+
+func dedupeKeys(keys []rule.Key) []rule.Key {
+	seen := make(map[rule.Key]struct{}, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"scout/internal/rule"
+)
+
+func TestMissingSpaceSingleRule(t *testing.T) {
+	c := NewChecker()
+	logical := withDeny(allowRule(1, 2, 3, 80))
+	deployed := withDeny()
+	cubes, err := c.MissingSpace(logical, deployed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 1 {
+		t.Fatalf("cubes = %d, want 1:\n%v", len(cubes), cubes)
+	}
+	cube := cubes[0]
+	if !cube.HasVRF || cube.VRF != 1 {
+		t.Errorf("vrf wrong: %+v", cube)
+	}
+	if !cube.HasSrc || cube.SrcEPG != 2 || !cube.HasDst || cube.DstEPG != 3 {
+		t.Errorf("epgs wrong: %+v", cube)
+	}
+	if !cube.HasProto || cube.Proto != rule.ProtoTCP {
+		t.Errorf("proto wrong: %+v", cube)
+	}
+	if cube.PortLo != 80 || cube.PortHi != 80 {
+		t.Errorf("ports wrong: %+v", cube)
+	}
+	if !strings.Contains(cube.String(), "vrf=1") {
+		t.Errorf("String = %q", cube.String())
+	}
+}
+
+func TestMissingSpaceEmptyWhenEquivalent(t *testing.T) {
+	c := NewChecker()
+	l := withDeny(allowRule(1, 2, 3, 80))
+	cubes, err := c.MissingSpace(l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 0 {
+		t.Errorf("equivalent sets must have empty missing space: %v", cubes)
+	}
+}
+
+func TestMissingSpacePortRange(t *testing.T) {
+	// Missing behaviour spans ports [64,127]: a single aligned cube.
+	c := NewChecker()
+	logical := withDeny(rule.Rule{
+		Match:  rule.Match{VRF: 1, SrcEPG: 2, DstEPG: 3, Proto: rule.ProtoTCP, PortLo: 64, PortHi: 127},
+		Action: rule.Allow, Priority: 10,
+	})
+	cubes, err := c.MissingSpace(logical, withDeny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cubes) != 1 {
+		t.Fatalf("aligned range should be one cube, got %d", len(cubes))
+	}
+	if cubes[0].PortLo != 64 || cubes[0].PortHi != 127 {
+		t.Errorf("range = %d-%d, want 64-127", cubes[0].PortLo, cubes[0].PortHi)
+	}
+}
+
+func TestMissingSpacePartialDeployment(t *testing.T) {
+	// Deployed covers [100,105] of logical [100,110]: the missing space
+	// is [106,110], decoded across however many cubes, whose union must
+	// be exactly that range.
+	c := NewChecker()
+	logical := withDeny(rule.Rule{
+		Match:  rule.Match{VRF: 1, SrcEPG: 2, DstEPG: 3, Proto: rule.ProtoTCP, PortLo: 100, PortHi: 110},
+		Action: rule.Allow, Priority: 10,
+	})
+	deployed := withDeny(rule.Rule{
+		Match:  rule.Match{VRF: 1, SrcEPG: 2, DstEPG: 3, Proto: rule.ProtoTCP, PortLo: 100, PortHi: 105},
+		Action: rule.Allow, Priority: 10,
+	})
+	cubes, err := c.MissingSpace(logical, deployed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[uint16]bool)
+	for _, cube := range cubes {
+		for p := cube.PortLo; ; p++ {
+			covered[p] = true
+			if p == cube.PortHi {
+				break
+			}
+		}
+	}
+	for p := uint16(106); p <= 110; p++ {
+		if !covered[p] {
+			t.Errorf("port %d missing from cubes %v", p, cubes)
+		}
+	}
+	for p := uint16(100); p <= 105; p++ {
+		if covered[p] {
+			t.Errorf("port %d wrongly in missing space", p)
+		}
+	}
+}
+
+func TestMissingSpaceDirectionality(t *testing.T) {
+	// Extra direction: diff(b, a) is the reverse question.
+	c := NewChecker()
+	a := withDeny(allowRule(1, 2, 3, 80))
+	b := withDeny(allowRule(1, 2, 3, 80), allowRule(1, 3, 2, 80))
+	missingAB, err := c.MissingSpace(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missingAB) != 0 {
+		t.Errorf("a ⊆ b: no missing space, got %v", missingAB)
+	}
+	missingBA, err := c.MissingSpace(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missingBA) != 1 || missingBA[0].SrcEPG != 3 {
+		t.Errorf("b\\a should be the reverse rule: %v", missingBA)
+	}
+}

@@ -1,0 +1,313 @@
+// Package equiv implements the paper's L-T equivalence checker (§III-C):
+// it compares the logical rules compiled from the network policy (L-type)
+// against the TCAM rules collected from a switch (T-type) by encoding both
+// as reduced ordered BDDs and diffing them. When the two differ, the
+// checker reports the set of missing rules — logical rules whose behaviour
+// should have been deployed in the TCAM but is absent — which become the
+// observations that annotate the risk models.
+package equiv
+
+import (
+	"fmt"
+
+	"scout/internal/bdd"
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// Field bit widths of the packet-classifier encoding. The header space is
+// (VRF, source EPG class, destination EPG class, IP protocol, destination
+// port), matching the TCAM rule format of the paper's Figure 2.
+const (
+	vrfBits   = 16
+	epgBits   = 16
+	protoBits = 8
+	portBits  = 16
+
+	vrfOff   = 0
+	srcOff   = vrfOff + vrfBits
+	dstOff   = srcOff + epgBits
+	protoOff = dstOff + epgBits
+	portOff  = protoOff + protoBits
+
+	// NumVars is the total number of boolean variables in the encoding.
+	NumVars = portOff + portBits
+)
+
+// maxID is the largest object ID representable in the encoding.
+const maxID = 1<<vrfBits - 1
+
+// Checker performs BDD-based equivalence checks between rule sets. A
+// Checker owns a BDD manager and memoizes per-rule encodings, so reusing
+// one Checker across many switches amortizes node construction. Not safe
+// for concurrent use.
+type Checker struct {
+	m        *bdd.Manager
+	matchMem map[rule.Match]bdd.Node
+}
+
+// NewChecker creates a checker with a fresh BDD manager.
+func NewChecker() *Checker {
+	return &Checker{
+		m:        bdd.NewManager(NumVars),
+		matchMem: make(map[rule.Match]bdd.Node, 1024),
+	}
+}
+
+// Report is the outcome of one L-T equivalence check.
+type Report struct {
+	// Equivalent is true when the logical and deployed rules enforce
+	// exactly the same behaviour.
+	Equivalent bool
+
+	// MissingRules lists the logical rules (with provenance) whose allowed
+	// behaviour is at least partially absent from the TCAM. These are the
+	// paper's "missing rules" used to augment risk models.
+	MissingRules []rule.Rule
+
+	// ExtraRules lists deployed rules that allow behaviour the policy does
+	// not permit (e.g. corrupted entries matching the wrong traffic).
+	ExtraRules []rule.Rule
+}
+
+// Check compares logical rules against deployed rules. Both slices are
+// interpreted in match order (priority descending); callers should pass
+// them as produced by the compiler and the TCAM snapshot respectively.
+func (c *Checker) Check(logical, deployed []rule.Rule) (*Report, error) {
+	lAllowed, err := c.semantics(logical)
+	if err != nil {
+		return nil, fmt.Errorf("encode logical rules: %w", err)
+	}
+	tAllowed, err := c.semantics(deployed)
+	if err != nil {
+		return nil, fmt.Errorf("encode deployed rules: %w", err)
+	}
+
+	rep := &Report{Equivalent: c.m.Equiv(lAllowed, tAllowed)}
+	if rep.Equivalent {
+		return rep, nil
+	}
+
+	missing := c.m.Diff(lAllowed, tAllowed) // should-allow but doesn't
+	extra := c.m.Diff(tAllowed, lAllowed)   // allows but shouldn't
+
+	if missing != bdd.False {
+		for _, r := range logical {
+			if r.Action != rule.Allow {
+				continue
+			}
+			enc, err := c.encodeMatch(r.Match)
+			if err != nil {
+				return nil, err
+			}
+			if c.m.And(enc, missing) != bdd.False {
+				rep.MissingRules = append(rep.MissingRules, r.Clone())
+			}
+		}
+	}
+	if extra != bdd.False {
+		for _, r := range deployed {
+			if r.Action != rule.Allow {
+				continue
+			}
+			enc, err := c.encodeMatch(r.Match)
+			if err != nil {
+				return nil, err
+			}
+			if c.m.And(enc, extra) != bdd.False {
+				rep.ExtraRules = append(rep.ExtraRules, r.Clone())
+			}
+		}
+	}
+	return rep, nil
+}
+
+// semantics folds a prioritized rule list into the BDD of packets the list
+// allows: the first matching rule decides, so each rule contributes only
+// the header space not covered by earlier rules.
+//
+// Consecutive rules with the same action cannot shadow each other into a
+// different outcome, so each maximal same-action run is collapsed with a
+// balanced OR reduction before the priority fold — turning the naive
+// O(N²) left fold into O(N log N) BDD work for the common all-allow +
+// default-deny rule lists.
+func (c *Checker) semantics(rules []rule.Rule) (bdd.Node, error) {
+	allowed := bdd.False
+	covered := bdd.False
+	for start := 0; start < len(rules); {
+		end := start
+		action := rules[start].Action
+		for end < len(rules) && rules[end].Action == action {
+			end++
+		}
+		run := make([]bdd.Node, 0, end-start)
+		for _, r := range rules[start:end] {
+			m, err := c.encodeMatch(r.Match)
+			if err != nil {
+				return bdd.False, err
+			}
+			run = append(run, m)
+		}
+		runUnion := c.orTree(run)
+		if action == rule.Allow {
+			allowed = c.m.Or(allowed, c.m.Diff(runUnion, covered))
+		}
+		covered = c.m.Or(covered, runUnion)
+		start = end
+	}
+	return allowed, nil
+}
+
+// orTree reduces nodes with a balanced binary OR.
+func (c *Checker) orTree(nodes []bdd.Node) bdd.Node {
+	switch len(nodes) {
+	case 0:
+		return bdd.False
+	case 1:
+		return nodes[0]
+	}
+	mid := len(nodes) / 2
+	return c.m.Or(c.orTree(nodes[:mid]), c.orTree(nodes[mid:]))
+}
+
+// encodeMatch builds (and memoizes) the BDD of header tuples covered by m.
+func (c *Checker) encodeMatch(m rule.Match) (bdd.Node, error) {
+	if n, ok := c.matchMem[m]; ok {
+		return n, nil
+	}
+	n := bdd.True
+	if !m.WildcardVRF {
+		if m.VRF > maxID {
+			return bdd.False, fmt.Errorf("vrf id %d exceeds %d-bit encoding", m.VRF, vrfBits)
+		}
+		n = c.m.And(n, c.equals(vrfOff, vrfBits, uint32(m.VRF)))
+	}
+	if !m.WildcardSrc {
+		if m.SrcEPG > maxID {
+			return bdd.False, fmt.Errorf("src epg id %d exceeds %d-bit encoding", m.SrcEPG, epgBits)
+		}
+		n = c.m.And(n, c.equals(srcOff, epgBits, uint32(m.SrcEPG)))
+	}
+	if !m.WildcardDst {
+		if m.DstEPG > maxID {
+			return bdd.False, fmt.Errorf("dst epg id %d exceeds %d-bit encoding", m.DstEPG, epgBits)
+		}
+		n = c.m.And(n, c.equals(dstOff, epgBits, uint32(m.DstEPG)))
+	}
+	if m.Proto != rule.ProtoAny {
+		n = c.m.And(n, c.equals(protoOff, protoBits, uint32(m.Proto)))
+	}
+	if !(m.PortLo == 0 && m.PortHi == rule.PortMax) {
+		if m.PortLo > m.PortHi {
+			return bdd.False, fmt.Errorf("inverted port range %d-%d", m.PortLo, m.PortHi)
+		}
+		n = c.m.And(n, c.rangeBDD(portOff, portBits, uint32(m.PortLo), uint32(m.PortHi)))
+	}
+	c.matchMem[m] = n
+	return n, nil
+}
+
+// equals encodes field == value over width bits starting at variable off
+// (most-significant bit at the lowest variable index).
+func (c *Checker) equals(off, width int, value uint32) bdd.Node {
+	lits := make(map[int]bool, width)
+	for i := 0; i < width; i++ {
+		bit := (value >> uint(width-1-i)) & 1
+		lits[off+i] = bit == 1
+	}
+	return c.m.Cube(lits)
+}
+
+// rangeBDD encodes lo <= field <= hi over width bits starting at off.
+func (c *Checker) rangeBDD(off, width int, lo, hi uint32) bdd.Node {
+	return c.m.And(c.geBDD(off, width, 0, lo), c.leBDD(off, width, 0, hi))
+}
+
+// leBDD encodes field <= value considering bits [i, width).
+func (c *Checker) leBDD(off, width, i int, value uint32) bdd.Node {
+	if i == width {
+		return bdd.True
+	}
+	v := c.m.Var(off + i)
+	rest := c.leBDD(off, width, i+1, value)
+	if (value>>uint(width-1-i))&1 == 1 {
+		// bit set: x_i=0 → anything below; x_i=1 → compare remaining bits
+		return c.m.Or(c.m.Not(v), c.m.And(v, rest))
+	}
+	// bit clear: x_i=1 → greater, fail; x_i=0 → compare remaining bits
+	return c.m.And(c.m.Not(v), rest)
+}
+
+// geBDD encodes field >= value considering bits [i, width).
+func (c *Checker) geBDD(off, width, i int, value uint32) bdd.Node {
+	if i == width {
+		return bdd.True
+	}
+	v := c.m.Var(off + i)
+	rest := c.geBDD(off, width, i+1, value)
+	if (value>>uint(width-1-i))&1 == 1 {
+		// bit set: x_i=0 → smaller, fail; x_i=1 → compare remaining bits
+		return c.m.And(v, rest)
+	}
+	// bit clear: x_i=1 → anything above; x_i=0 → compare remaining bits
+	return c.m.Or(v, c.m.And(c.m.Not(v), rest))
+}
+
+// NaiveCheck is a key-set differ used as a test oracle and ablation
+// baseline: it reports logical rules whose exact Key is absent from the
+// deployed set and deployed allow rules absent from the logical set. It is
+// sound only when rule matches do not partially overlap (which holds for
+// compiler output with disjoint filter port ranges), whereas the BDD
+// checker is exact for arbitrary overlaps.
+func NaiveCheck(logical, deployed []rule.Rule) *Report {
+	depKeys := rule.KeySet(deployed)
+	logKeys := rule.KeySet(logical)
+	rep := &Report{Equivalent: true}
+	for _, r := range logical {
+		if r.Action != rule.Allow {
+			continue
+		}
+		if _, ok := depKeys[r.Key()]; !ok {
+			rep.MissingRules = append(rep.MissingRules, r.Clone())
+		}
+	}
+	for _, r := range deployed {
+		if r.Action != rule.Allow {
+			continue
+		}
+		if _, ok := logKeys[r.Key()]; !ok {
+			rep.ExtraRules = append(rep.ExtraRules, r.Clone())
+		}
+	}
+	rep.Equivalent = len(rep.MissingRules) == 0 && len(rep.ExtraRules) == 0
+	return rep
+}
+
+// MissingPairObjects extracts, from a set of missing rules, the map of
+// impacted EPG pairs to the policy objects implicated by each pair's
+// missing rules — the augmentation input for the risk models (§III-C).
+// Rules without provenance are resolved through prov (keyed by rule Key)
+// when available.
+func MissingPairObjects(missing []rule.Rule, prov map[rule.Key][]object.Ref) map[[2]object.ID][]object.Ref {
+	out := make(map[[2]object.ID][]object.Ref)
+	for _, r := range missing {
+		p := r.Provenance
+		if len(p) == 0 && prov != nil {
+			p = prov[r.Key()]
+		}
+		if len(p) == 0 {
+			continue
+		}
+		a, b := r.Match.SrcEPG, r.Match.DstEPG
+		if b < a {
+			a, b = b, a
+		}
+		key := [2]object.ID{a, b}
+		out[key] = append(out[key], p...)
+	}
+	for k, refs := range out {
+		set := object.NewSet(refs...)
+		out[k] = set.Sorted()
+	}
+	return out
+}

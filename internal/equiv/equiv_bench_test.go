@@ -1,0 +1,98 @@
+package equiv
+
+import (
+	"testing"
+
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// benchRules builds n disjoint allow rules plus the default deny.
+func benchRules(n int) []rule.Rule {
+	rules := make([]rule.Rule, 0, n+1)
+	for i := 0; i < n; i++ {
+		rules = append(rules, allowRule(1, object.ID(i%64), object.ID(64+(i%64)), uint16(1024+i)))
+	}
+	return append(rules, rule.DefaultDeny())
+}
+
+// BenchmarkCheckEquivalent measures a clean check (the common periodic
+// case: every switch consistent).
+func BenchmarkCheckEquivalent(b *testing.B) {
+	rules := benchRules(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker()
+		rep, err := c.Check(rules, rules)
+		if err != nil || !rep.Equivalent {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkCheckWithMissing measures a check that must extract missing
+// rules (5% removed).
+func BenchmarkCheckWithMissing(b *testing.B) {
+	logical := benchRules(1024)
+	deployed := make([]rule.Rule, 0, len(logical))
+	for i, r := range logical {
+		if i%20 == 7 {
+			continue
+		}
+		deployed = append(deployed, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker()
+		rep, err := c.Check(logical, deployed)
+		if err != nil || rep.Equivalent || len(rep.MissingRules) == 0 {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkCheckerReuse measures the amortized cost when one checker
+// (with its match memo) serves repeated checks, the Analyzer's pattern.
+func BenchmarkCheckerReuse(b *testing.B) {
+	rules := benchRules(1024)
+	c := NewChecker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := c.Check(rules, rules)
+		if err != nil || !rep.Equivalent {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkNaiveCheck is the key-differ baseline.
+func BenchmarkNaiveCheck(b *testing.B) {
+	rules := benchRules(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := NaiveCheck(rules, rules); !rep.Equivalent {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+// BenchmarkMissingSpace measures cube extraction on a 5%-degraded table.
+func BenchmarkMissingSpace(b *testing.B) {
+	logical := benchRules(512)
+	deployed := make([]rule.Rule, 0, len(logical))
+	for i, r := range logical {
+		if i%20 == 7 {
+			continue
+		}
+		deployed = append(deployed, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker()
+		cubes, err := c.MissingSpace(logical, deployed)
+		if err != nil || len(cubes) == 0 {
+			b.Fatal("extraction failed")
+		}
+	}
+}

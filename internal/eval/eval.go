@@ -1,0 +1,562 @@
+// Package eval contains the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§VI): the Figure 3 sharing
+// CDFs, the Figure 7 suspect-set-reduction study, the Figure 8/9/10
+// precision-recall comparisons between SCOUT and SCORE, and the §VI-B
+// scalability measurement. Each experiment is deterministic under a seed.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"scout/internal/compile"
+	"scout/internal/localize"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/risk"
+	"scout/internal/topo"
+	"scout/internal/workload"
+)
+
+// Env bundles the generated workload artifacts shared by experiments.
+type Env struct {
+	Spec       workload.Spec
+	Policy     *policy.Policy
+	Topo       *topo.Topology
+	Deployment *compile.Deployment
+	Index      *workload.DepIndex
+}
+
+// NewEnv generates and compiles a workload environment.
+func NewEnv(spec workload.Spec, seed int64) (*Env, error) {
+	p, t, err := workload.Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	d, err := compile.Compile(p, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Spec:       spec,
+		Policy:     p,
+		Topo:       t,
+		Deployment: d,
+		Index:      workload.BuildIndex(d),
+	}, nil
+}
+
+// SimSpec returns the production-like simulation spec scaled by the given
+// factor (1.0 = the paper's full cluster size). Benchmarks use a reduced
+// scale to keep per-iteration cost sane; cmd/scout-bench runs full scale.
+func SimSpec(scale float64) workload.Spec {
+	s := workload.ProductionSpec()
+	if scale <= 0 || scale == 1 {
+		return s
+	}
+	shrink := func(n int) int {
+		v := int(math.Round(float64(n) * scale))
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	s.EPGs = shrink(s.EPGs)
+	s.Contracts = shrink(s.Contracts)
+	s.Filters = shrink(s.Filters)
+	s.TargetPairs = shrink(s.TargetPairs)
+	s.Switches = shrink(s.Switches)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: CDF of EPG pairs per object.
+// ---------------------------------------------------------------------------
+
+// Figure3Result holds, per object category, the sorted per-object counts
+// of distinct EPG pairs depending on it.
+type Figure3Result struct {
+	// Series maps category ("vrfs", "epgs", "contracts", "filters",
+	// "switches") to sorted dependent-pair counts.
+	Series map[string][]int
+}
+
+// Figure3 computes the sharing distributions for an environment.
+func Figure3(env *Env) *Figure3Result {
+	perObject := make(map[object.Ref]map[policy.EPGPair]struct{})
+	perSwitch := make(map[object.ID]map[policy.EPGPair]struct{})
+	for sp, keys := range env.Deployment.PairRules {
+		swSet, ok := perSwitch[sp.Switch]
+		if !ok {
+			swSet = make(map[policy.EPGPair]struct{})
+			perSwitch[sp.Switch] = swSet
+		}
+		swSet[sp.Pair] = struct{}{}
+		for _, k := range keys {
+			for _, ref := range env.Deployment.Provenance[k] {
+				set, ok := perObject[ref]
+				if !ok {
+					set = make(map[policy.EPGPair]struct{})
+					perObject[ref] = set
+				}
+				set[sp.Pair] = struct{}{}
+			}
+		}
+	}
+
+	res := &Figure3Result{Series: map[string][]int{}}
+	kindName := map[object.Kind]string{
+		object.KindVRF:      "vrfs",
+		object.KindEPG:      "epgs",
+		object.KindContract: "contracts",
+		object.KindFilter:   "filters",
+	}
+	for ref, pairs := range perObject {
+		name := kindName[ref.Kind]
+		res.Series[name] = append(res.Series[name], len(pairs))
+	}
+	for _, pairs := range perSwitch {
+		res.Series["switches"] = append(res.Series["switches"], len(pairs))
+	}
+	for k := range res.Series {
+		sort.Ints(res.Series[k])
+	}
+	return res
+}
+
+// FractionAbove returns the fraction of sorted counts strictly greater
+// than threshold.
+func FractionAbove(sorted []int, threshold int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchInts(sorted, threshold+1)
+	return float64(len(sorted)-i) / float64(len(sorted))
+}
+
+// Percentile returns the q-th percentile (0..100) of sorted counts.
+func Percentile(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Render returns the Figure 3 result as an aligned text table of CDF
+// checkpoints.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %8s %8s\n",
+		"objects", "count", "p50", "p90", ">100", ">1000", ">10000")
+	for _, name := range []string{"switches", "vrfs", "epgs", "contracts", "filters"} {
+		s := r.Series[name]
+		fmt.Fprintf(&b, "%-10s %8d %8d %8d %7.1f%% %7.1f%% %7.1f%%\n",
+			name, len(s), Percentile(s, 50), Percentile(s, 90),
+			100*FractionAbove(s, 100), 100*FractionAbove(s, 1000), 100*FractionAbove(s, 10000))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8/9/10: precision & recall vs number of simultaneous faults.
+// ---------------------------------------------------------------------------
+
+// Algorithm selects a localization algorithm variant for experiments.
+type Algorithm struct {
+	// Name labels the curve ("SCOUT", "SCORE-0.6", "SCORE-1").
+	Name string
+	// Run executes the algorithm against an annotated model. changed is
+	// the simulated recent-change oracle.
+	Run func(m *risk.Model, changed object.Set) *localize.Result
+}
+
+// StandardAlgorithms returns the three algorithm variants the paper's
+// accuracy figures compare.
+func StandardAlgorithms() []Algorithm {
+	return []Algorithm{
+		{
+			Name: "SCOUT",
+			Run: func(m *risk.Model, changed object.Set) *localize.Result {
+				return localize.Scout(m, localize.SetOracle(changed))
+			},
+		},
+		{
+			Name: "SCORE-0.6",
+			Run: func(m *risk.Model, _ object.Set) *localize.Result {
+				return localize.Score(m, 0.6)
+			},
+		},
+		{
+			Name: "SCORE-1",
+			Run: func(m *risk.Model, _ object.Set) *localize.Result {
+				return localize.Score(m, 1.0)
+			},
+		},
+	}
+}
+
+// ScoutNoChangeLog is the DESIGN.md ablation: SCOUT stage one only.
+func ScoutNoChangeLog() Algorithm {
+	return Algorithm{
+		Name: "SCOUT-nolog",
+		Run: func(m *risk.Model, _ object.Set) *localize.Result {
+			return localize.Scout(m, localize.NoChanges{})
+		},
+	}
+}
+
+// AccuracyPoint is one (fault count → mean accuracy) measurement.
+type AccuracyPoint struct {
+	Faults    int
+	Precision float64
+	Recall    float64
+}
+
+// AccuracyCurve is one algorithm's accuracy across fault counts.
+type AccuracyCurve struct {
+	Name   string
+	Points []AccuracyPoint
+}
+
+// AccuracyResult is a full precision/recall figure.
+type AccuracyResult struct {
+	Title  string
+	Curves []AccuracyCurve
+}
+
+// AccuracyOptions configures an accuracy experiment.
+type AccuracyOptions struct {
+	MaxFaults int // x-axis upper bound (paper: 10)
+	Runs      int // repetitions per point (paper: 30 sim, 10 testbed)
+	Noise     int // healthy objects added to the change oracle per run
+	Seed      int64
+	// Algorithms to compare; nil selects StandardAlgorithms.
+	Algorithms []Algorithm
+}
+
+func (o AccuracyOptions) withDefaults() AccuracyOptions {
+	if o.MaxFaults <= 0 {
+		o.MaxFaults = 10
+	}
+	if o.Runs <= 0 {
+		o.Runs = 30
+	}
+	if o.Noise < 0 {
+		o.Noise = 0
+	}
+	if o.Algorithms == nil {
+		o.Algorithms = StandardAlgorithms()
+	}
+	return o
+}
+
+// SwitchModelAccuracy reproduces Figure 8: faults are injected into the
+// rules of a single switch and localized on that switch's risk model.
+func SwitchModelAccuracy(env *Env, opts AccuracyOptions) (*AccuracyResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Choose the switch with the most dependent objects so every fault
+	// count is feasible.
+	sw := busiestSwitch(env)
+	candidates := env.Index.ObjectsOnSwitch(sw)
+	model := risk.BuildSwitchModel(env.Deployment, sw)
+
+	return accuracySweep("switch risk model", model, candidates, opts, rng,
+		func(m *risk.Model, sc workload.Scenario, r *rand.Rand) {
+			workload.ApplyToSwitchModel(m, env.Deployment, env.Index, sw, sc, r)
+		})
+}
+
+// ControllerModelAccuracy reproduces Figure 9: faults are injected across
+// switches and localized on the controller risk model.
+func ControllerModelAccuracy(env *Env, opts AccuracyOptions) (*AccuracyResult, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	candidates := env.Index.Objects()
+	model := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+
+	return accuracySweep("controller risk model", model, candidates, opts, rng,
+		func(m *risk.Model, sc workload.Scenario, r *rand.Rand) {
+			workload.ApplyToControllerModel(m, env.Deployment, env.Index, sc, r)
+		})
+}
+
+func accuracySweep(title string, model *risk.Model, candidates []object.Ref,
+	opts AccuracyOptions, rng *rand.Rand,
+	apply func(*risk.Model, workload.Scenario, *rand.Rand)) (*AccuracyResult, error) {
+
+	res := &AccuracyResult{Title: title}
+	curves := make([]AccuracyCurve, len(opts.Algorithms))
+	for i, alg := range opts.Algorithms {
+		curves[i].Name = alg.Name
+	}
+
+	for n := 1; n <= opts.MaxFaults; n++ {
+		sumsP := make([]float64, len(opts.Algorithms))
+		sumsR := make([]float64, len(opts.Algorithms))
+		for run := 0; run < opts.Runs; run++ {
+			sc, err := workload.NewScenario(rng, candidates, n, opts.Noise)
+			if err != nil {
+				return nil, err
+			}
+			model.ResetFailures()
+			apply(model, sc, rng)
+			for i, alg := range opts.Algorithms {
+				r := alg.Run(model, sc.Changed)
+				acc := r.Evaluate(sc.GroundTruth)
+				sumsP[i] += acc.Precision
+				sumsR[i] += acc.Recall
+			}
+		}
+		for i := range opts.Algorithms {
+			curves[i].Points = append(curves[i].Points, AccuracyPoint{
+				Faults:    n,
+				Precision: sumsP[i] / float64(opts.Runs),
+				Recall:    sumsR[i] / float64(opts.Runs),
+			})
+		}
+	}
+	model.ResetFailures()
+	res.Curves = curves
+	return res, nil
+}
+
+func busiestSwitch(env *Env) object.ID {
+	best := object.ID(0)
+	bestObjs := -1
+	for _, sw := range env.Topo.Switches() {
+		n := len(env.Index.ObjectsOnSwitch(sw))
+		if n > bestObjs {
+			best, bestObjs = sw, n
+		}
+	}
+	return best
+}
+
+// Render returns the accuracy result as an aligned text table.
+func (r *AccuracyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-8s", r.Title, "faults")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " %12s-P %12s-R", c.Name, c.Name)
+	}
+	b.WriteByte('\n')
+	if len(r.Curves) == 0 {
+		return b.String()
+	}
+	for i := range r.Curves[0].Points {
+		fmt.Fprintf(&b, "%-8d", r.Curves[0].Points[i].Faults)
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, " %14.3f %14.3f", c.Points[i].Precision, c.Points[i].Recall)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Curve returns the named curve, if present.
+func (r *AccuracyResult) Curve(name string) (AccuracyCurve, bool) {
+	for _, c := range r.Curves {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return AccuracyCurve{}, false
+}
+
+// MeanRecall averages recall across a curve's points.
+func (c AccuracyCurve) MeanRecall() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range c.Points {
+		sum += p.Recall
+	}
+	return sum / float64(len(c.Points))
+}
+
+// MeanPrecision averages precision across a curve's points.
+func (c AccuracyCurve) MeanPrecision() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range c.Points {
+		sum += p.Precision
+	}
+	return sum / float64(len(c.Points))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: suspect-set reduction γ.
+// ---------------------------------------------------------------------------
+
+// GammaBucket aggregates γ for faults whose suspect-set size falls in
+// [Lo, Hi).
+type GammaBucket struct {
+	Lo, Hi    int
+	MeanGamma float64
+	Samples   int
+}
+
+// GammaResult is a full Figure 7 panel.
+type GammaResult struct {
+	Title   string
+	Buckets []GammaBucket
+}
+
+// GammaOptions configures the suspect-set-reduction experiment.
+type GammaOptions struct {
+	Faults  int      // single-object faults to sample (paper: 1500 sim, 200 testbed)
+	Buckets [][2]int // suspect-set-size buckets
+	Noise   int
+	Seed    int64
+}
+
+// SuspectSetReduction reproduces Figure 7 on the controller risk model:
+// for each sampled single-object fault, γ = |hypothesis| / |suspect set|,
+// bucketed by suspect-set size.
+func SuspectSetReduction(env *Env, opts GammaOptions) (*GammaResult, error) {
+	if opts.Faults <= 0 {
+		opts.Faults = 200
+	}
+	if opts.Buckets == nil {
+		opts.Buckets = [][2]int{{1, 10}, {10, 50}, {50, 100}, {100, 500}, {500, 1000}}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	candidates := env.Index.Objects()
+	model := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+
+	sums := make([]float64, len(opts.Buckets))
+	counts := make([]int, len(opts.Buckets))
+	for i := 0; i < opts.Faults; i++ {
+		sc, err := workload.NewScenario(rng, candidates, 1, opts.Noise)
+		if err != nil {
+			return nil, err
+		}
+		model.ResetFailures()
+		workload.ApplyToControllerModel(model, env.Deployment, env.Index, sc, rng)
+		suspects := len(model.SuspectSet())
+		if suspects == 0 {
+			continue
+		}
+		res := localize.Scout(model, localize.SetOracle(sc.Changed))
+		gamma := float64(len(res.Hypothesis)) / float64(suspects)
+		for bi, b := range opts.Buckets {
+			if suspects >= b[0] && suspects < b[1] {
+				sums[bi] += gamma
+				counts[bi]++
+				break
+			}
+		}
+	}
+	model.ResetFailures()
+
+	out := &GammaResult{Title: fmt.Sprintf("suspect-set reduction (%d faults)", opts.Faults)}
+	for bi, b := range opts.Buckets {
+		gb := GammaBucket{Lo: b[0], Hi: b[1], Samples: counts[bi]}
+		if counts[bi] > 0 {
+			gb.MeanGamma = sums[bi] / float64(counts[bi])
+		}
+		out.Buckets = append(out.Buckets, gb)
+	}
+	return out, nil
+}
+
+// Render returns the γ result as an aligned text table.
+func (r *GammaResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s %10s %10s\n", r.Title, "#suspects", "gamma", "samples")
+	for _, gb := range r.Buckets {
+		fmt.Fprintf(&b, "%6d-%-7d %10.4f %10d\n", gb.Lo, gb.Hi, gb.MeanGamma, gb.Samples)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Scalability (§VI-B): SCOUT runtime vs network size.
+// ---------------------------------------------------------------------------
+
+// ScalePoint is one scalability measurement.
+type ScalePoint struct {
+	Switches     int
+	Elements     int
+	Risks        int
+	BuildSecs    float64
+	LocalizeSecs float64
+}
+
+// ScaleResult is the scalability sweep output.
+type ScaleResult struct {
+	Points []ScalePoint
+}
+
+// ScaleSpec builds a workload spec that grows linearly with the switch
+// count, mirroring the paper's methodology of scaling the 10-switch
+// cluster policy by adding EPG-and-switch pairs up to 500 switches.
+func ScaleSpec(switches int) workload.Spec {
+	s := workload.ProductionSpec()
+	s.Name = fmt.Sprintf("scale-%d", switches)
+	s.Switches = switches
+	s.EPGs = 20 * switches
+	s.Contracts = 12 * switches
+	s.TargetPairs = 300 * switches
+	return s
+}
+
+// Scalability measures controller-risk-model construction and SCOUT
+// runtime at each switch count.
+func Scalability(switchCounts []int, faults int, seed int64) (*ScaleResult, error) {
+	if faults <= 0 {
+		faults = 5
+	}
+	out := &ScaleResult{}
+	for _, n := range switchCounts {
+		env, err := NewEnv(ScaleSpec(n), seed)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		start := time.Now()
+		model := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+		build := time.Since(start)
+
+		sc, err := workload.NewScenario(rng, env.Index.Objects(), faults, 10)
+		if err != nil {
+			return nil, err
+		}
+		workload.ApplyToControllerModel(model, env.Deployment, env.Index, sc, rng)
+
+		start = time.Now()
+		localize.Scout(model, localize.SetOracle(sc.Changed))
+		loc := time.Since(start)
+
+		out.Points = append(out.Points, ScalePoint{
+			Switches:     n,
+			Elements:     model.NumElements(),
+			Risks:        model.NumRisks(),
+			BuildSecs:    build.Seconds(),
+			LocalizeSecs: loc.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// Render returns the scalability sweep as an aligned text table.
+func (r *ScaleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %8s %12s %14s\n",
+		"switches", "elements", "risks", "build-secs", "localize-secs")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10d %10d %8d %12.3f %14.3f\n",
+			p.Switches, p.Elements, p.Risks, p.BuildSecs, p.LocalizeSecs)
+	}
+	return b.String()
+}

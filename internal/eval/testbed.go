@@ -1,0 +1,149 @@
+// Figure 10: testbed accuracy, measured through the full end-to-end
+// pipeline — fabric deployment, TCAM fault injection, BDD equivalence
+// checking, risk-model augmentation, and localization — rather than
+// model-level fault simulation. This mirrors the paper's hardware-testbed
+// methodology (§VI-A) on the simulated fabric.
+
+package eval
+
+import (
+	"math/rand"
+
+	"scout/internal/compile"
+	"scout/internal/equiv"
+	"scout/internal/fabric"
+	"scout/internal/faultlog"
+	"scout/internal/localize"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/risk"
+	"scout/internal/topo"
+	"scout/internal/workload"
+)
+
+// TestbedOptions configures the end-to-end testbed experiment.
+type TestbedOptions struct {
+	MaxFaults int // paper: 10
+	Runs      int // paper: 10
+	Noise     int // healthy objects with recent change-log entries
+	Seed      int64
+}
+
+// TestbedAccuracy reproduces Figure 10: SCOUT vs SCORE-1 on the testbed
+// policy with up to MaxFaults simultaneous object faults, run through the
+// complete pipeline.
+func TestbedAccuracy(spec workload.Spec, opts TestbedOptions) (*AccuracyResult, error) {
+	if opts.MaxFaults <= 0 {
+		opts.MaxFaults = 10
+	}
+	if opts.Runs <= 0 {
+		opts.Runs = 10
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	pol, tp, err := workload.Generate(spec, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AccuracyResult{Title: "testbed end-to-end"}
+	curves := []AccuracyCurve{{Name: "SCOUT"}, {Name: "SCORE-1"}}
+	for n := 1; n <= opts.MaxFaults; n++ {
+		var sumP, sumR [2]float64
+		for run := 0; run < opts.Runs; run++ {
+			accs, err := testbedRun(pol, tp, rng, n, opts.Noise)
+			if err != nil {
+				return nil, err
+			}
+			for i := range accs {
+				sumP[i] += accs[i].Precision
+				sumR[i] += accs[i].Recall
+			}
+		}
+		for i := range curves {
+			curves[i].Points = append(curves[i].Points, AccuracyPoint{
+				Faults:    n,
+				Precision: sumP[i] / float64(opts.Runs),
+				Recall:    sumR[i] / float64(opts.Runs),
+			})
+		}
+	}
+	res.Curves = curves
+	return res, nil
+}
+
+// testbedRun executes one end-to-end experiment: deploy the policy onto a
+// fresh fabric, inject n object faults into the TCAMs, collect and check
+// every switch, augment the controller risk model, and localize with both
+// SCOUT and SCORE-1, scoring against the ground truth.
+func testbedRun(pol *policy.Policy, tp *topo.Topology, rng *rand.Rand, n, noise int) ([2]localize.Accuracy, error) {
+	var out [2]localize.Accuracy
+	f, err := fabric.New(pol, tp, fabric.Options{Seed: rng.Int63()})
+	if err != nil {
+		return out, err
+	}
+	since := f.Now()
+	if err := f.Deploy(); err != nil {
+		return out, err
+	}
+	d := f.Deployment()
+
+	// Sample the fault scenario among deployed objects.
+	candidates := deployedObjects(d)
+	sc, err := workload.NewScenario(rng, candidates, n, 0)
+	if err != nil {
+		return out, err
+	}
+	for _, flt := range sc.Faults {
+		if _, err := f.InjectObjectFault(flt.Ref, flt.Fraction); err != nil {
+			return out, err
+		}
+	}
+	// Noise: healthy objects with recent change-log entries.
+	perm := rng.Perm(len(candidates))
+	noisy := 0
+	truth := object.NewSet(sc.GroundTruth...)
+	for _, i := range perm {
+		if noisy >= noise {
+			break
+		}
+		if truth.Has(candidates[i]) {
+			continue
+		}
+		f.RecordChange(faultlog.OpModify, candidates[i], "unrelated operator action")
+		noisy++
+	}
+
+	// Full pipeline: check every switch, augment the controller model.
+	checker := equiv.NewChecker()
+	model := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	for _, sw := range tp.Switches() {
+		deployed, err := f.CollectTCAM(sw)
+		if err != nil {
+			return out, err
+		}
+		rep, err := checker.Check(d.RulesFor(sw), deployed)
+		if err != nil {
+			return out, err
+		}
+		if !rep.Equivalent {
+			risk.AugmentControllerModel(model, sw, rep.MissingRules, d.Provenance)
+		}
+	}
+
+	oracle := localize.ChangeLogOracle{Log: f.ChangeLog(), Since: since}
+	out[0] = localize.Scout(model, oracle).Evaluate(sc.GroundTruth)
+	out[1] = localize.Score(model, 1.0).Evaluate(sc.GroundTruth)
+	return out, nil
+}
+
+// deployedObjects lists the distinct policy objects with deployed rules.
+func deployedObjects(d *compile.Deployment) []object.Ref {
+	set := make(object.Set)
+	for _, refs := range d.Provenance {
+		for _, ref := range refs {
+			set.Add(ref)
+		}
+	}
+	return set.Sorted()
+}

@@ -1,0 +1,476 @@
+// Package fabric simulates the paper's 3-tier policy deployment pipeline
+// (§II): a centralized controller holding the global network policy, a
+// software agent per switch maintaining a local logical view, and the
+// switch TCAM holding rendered rules. Every element can fail independently
+// — controller↔agent disconnection, agent crash mid-update, TCAM overflow,
+// TCAM bit corruption, and local rule eviction — producing exactly the
+// network-state inconsistencies (§II-B) that SCOUT localizes.
+//
+// The fabric runs on a deterministic logical clock and a seeded RNG so
+// experiments are reproducible.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"scout/internal/compile"
+	"scout/internal/faultlog"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/rule"
+	"scout/internal/tcam"
+	"scout/internal/topo"
+)
+
+// ErrUnknownSwitch is returned when an operation names a switch that is
+// not part of the topology.
+var ErrUnknownSwitch = errors.New("fabric: unknown switch")
+
+// Options configures a Fabric.
+type Options struct {
+	// TCAMCapacity is the per-switch TCAM size in entries; <= 0 selects
+	// tcam.DefaultCapacity.
+	TCAMCapacity int
+	// Seed seeds the fabric's RNG (fault injection randomness).
+	Seed int64
+	// Start is the logical wall-clock origin; the zero value selects a
+	// fixed deterministic epoch.
+	Start time.Time
+	// Tick is the logical time advanced by every fabric operation;
+	// <= 0 selects one second.
+	Tick time.Duration
+}
+
+// Switch is the per-device state: agent health, reachability, the agent's
+// local logical view of the policy, and the TCAM.
+type Switch struct {
+	ID object.ID
+
+	// reachable is false while the control channel to the switch is down.
+	reachable bool
+	// agentUp is false after a simulated agent crash.
+	agentUp bool
+
+	// view is the agent's local logical view: the rule keys the agent
+	// believes are installed (its copy of the controller instructions).
+	view map[rule.Key]rule.Rule
+
+	// pending holds instructions delivered to the agent but not yet
+	// rendered into TCAM (populated when the agent crashes mid-update).
+	pending []rule.Rule
+
+	tcam *tcam.TCAM
+}
+
+// TCAM exposes the switch's TCAM (primarily for tests and collection).
+func (s *Switch) TCAM() *tcam.TCAM { return s.tcam }
+
+// Reachable reports whether the control channel to the switch is up.
+func (s *Switch) Reachable() bool { return s.reachable }
+
+// AgentUp reports whether the switch agent process is running.
+func (s *Switch) AgentUp() bool { return s.agentUp }
+
+// Fabric is the simulated deployment plane.
+type Fabric struct {
+	pol      *policy.Policy
+	topology *topo.Topology
+	switches map[object.ID]*Switch
+
+	changes *faultlog.ChangeLog
+	faults  *faultlog.FaultLog
+
+	deployed *compile.Deployment // last compiled desired state
+
+	now  time.Time
+	tick time.Duration
+	rng  *rand.Rand
+}
+
+// New creates a fabric for the given policy and topology. The policy is
+// cloned: subsequent edits must go through the fabric's change methods so
+// they are recorded in the change log.
+func New(p *policy.Policy, t *topo.Topology, opts Options) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	if err := t.Validate(p); err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC) // ICDCS'18 day one
+	}
+	tick := opts.Tick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	f := &Fabric{
+		pol:      p.Clone(),
+		topology: t,
+		switches: make(map[object.ID]*Switch, t.NumSwitches()),
+		changes:  faultlog.NewChangeLog(),
+		faults:   faultlog.NewFaultLog(),
+		now:      start,
+		tick:     tick,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	for _, sw := range t.Switches() {
+		f.switches[sw] = &Switch{
+			ID:        sw,
+			reachable: true,
+			agentUp:   true,
+			view:      make(map[rule.Key]rule.Rule),
+			tcam:      tcam.New(opts.TCAMCapacity),
+		}
+	}
+	return f, nil
+}
+
+// Policy returns the controller's current desired policy (the global
+// network policy). Callers must not mutate it directly.
+func (f *Fabric) Policy() *policy.Policy { return f.pol }
+
+// Topology returns the fabric topology.
+func (f *Fabric) Topology() *topo.Topology { return f.topology }
+
+// ChangeLog returns the controller change log.
+func (f *Fabric) ChangeLog() *faultlog.ChangeLog { return f.changes }
+
+// FaultLog returns the device fault log.
+func (f *Fabric) FaultLog() *faultlog.FaultLog { return f.faults }
+
+// Now returns the current logical time.
+func (f *Fabric) Now() time.Time { return f.now }
+
+// Deployment returns the most recently compiled desired state (nil before
+// the first Deploy).
+func (f *Fabric) Deployment() *compile.Deployment { return f.deployed }
+
+// Switch returns the state of switch sw.
+func (f *Fabric) Switch(sw object.ID) (*Switch, error) {
+	s, ok := f.switches[sw]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSwitch, sw)
+	}
+	return s, nil
+}
+
+func (f *Fabric) advance() time.Time {
+	f.now = f.now.Add(f.tick)
+	return f.now
+}
+
+// Deploy compiles the current policy and pushes per-switch instruction
+// deltas to every agent. Unreachable switches receive nothing; crashed
+// agents accept instructions into their pending queue but do not render
+// them. TCAM overflow during rendering raises a fault-log event.
+func (f *Fabric) Deploy() error {
+	d, err := compile.Compile(f.pol, f.topology)
+	if err != nil {
+		return err
+	}
+	f.deployed = d
+	for _, sw := range f.topology.Switches() {
+		f.pushToSwitch(f.switches[sw], d.BySwitch[sw])
+	}
+	return nil
+}
+
+// pushToSwitch reconciles a switch's local view and TCAM with the desired
+// rule list.
+func (f *Fabric) pushToSwitch(s *Switch, desired []rule.Rule) {
+	if !s.reachable {
+		return // instructions lost; controller-side state already updated
+	}
+	want := make(map[rule.Key]rule.Rule, len(desired))
+	for _, r := range desired {
+		want[r.Key()] = r
+	}
+	// Delete stale entries from the agent view and TCAM.
+	for k := range s.view {
+		if _, ok := want[k]; !ok {
+			delete(s.view, k)
+			if s.agentUp {
+				s.tcam.Remove(k)
+			}
+		}
+	}
+	// Install new entries in deterministic order.
+	adds := make([]rule.Rule, 0, len(desired))
+	for _, r := range desired {
+		if _, ok := s.view[r.Key()]; !ok {
+			adds = append(adds, r)
+		}
+	}
+	rule.Sort(adds)
+	for _, r := range adds {
+		s.view[r.Key()] = r
+		if !s.agentUp {
+			s.pending = append(s.pending, r)
+			continue
+		}
+		f.renderRule(s, r)
+	}
+}
+
+// renderRule installs one rule into TCAM, logging overflow faults.
+func (f *Fabric) renderRule(s *Switch, r rule.Rule) {
+	err := s.tcam.Install(r)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, tcam.ErrFull) {
+		f.faults.Raise(f.now, faultlog.FaultTCAMOverflow, s.ID,
+			fmt.Sprintf("tcam at %d/%d entries", s.tcam.Len(), s.tcam.Capacity()))
+	}
+}
+
+// --- Policy change operations (recorded in the change log) ---
+
+// AddFilter adds a filter object to the policy.
+func (f *Fabric) AddFilter(flt policy.Filter) error {
+	f.pol.AddFilter(flt)
+	f.changes.Append(f.advance(), faultlog.OpAdd, object.Filter(flt.ID), "add filter "+flt.Name)
+	return f.Deploy()
+}
+
+// AddFilterToContract appends an existing filter to a contract and
+// redeploys — the paper's "add filter" instruction used by the §V-B use
+// cases.
+func (f *Fabric) AddFilterToContract(contract, filter object.ID) error {
+	c, ok := f.pol.Contracts[contract]
+	if !ok {
+		return fmt.Errorf("fabric: unknown contract %d", contract)
+	}
+	if _, ok := f.pol.Filters[filter]; !ok {
+		return fmt.Errorf("fabric: unknown filter %d", filter)
+	}
+	c.Filters = append(c.Filters, filter)
+	at := f.advance()
+	f.changes.Append(at, faultlog.OpModify, object.Contract(contract), "attach filter")
+	f.changes.Append(at, faultlog.OpAdd, object.Filter(filter), "add filter to contract",
+		f.switchesForContract(contract)...)
+	return f.Deploy()
+}
+
+// RemoveFilterFromContract detaches a filter from a contract and redeploys.
+func (f *Fabric) RemoveFilterFromContract(contract, filter object.ID) error {
+	c, ok := f.pol.Contracts[contract]
+	if !ok {
+		return fmt.Errorf("fabric: unknown contract %d", contract)
+	}
+	kept := c.Filters[:0]
+	removed := false
+	for _, fid := range c.Filters {
+		if fid == filter && !removed {
+			removed = true
+			continue
+		}
+		kept = append(kept, fid)
+	}
+	if !removed {
+		return fmt.Errorf("fabric: contract %d does not reference filter %d", contract, filter)
+	}
+	c.Filters = kept
+	at := f.advance()
+	f.changes.Append(at, faultlog.OpModify, object.Contract(contract), "detach filter")
+	f.changes.Append(at, faultlog.OpDelete, object.Filter(filter), "remove filter from contract",
+		f.switchesForContract(contract)...)
+	return f.Deploy()
+}
+
+// AddBinding binds a contract to an EPG pair and redeploys.
+func (f *Fabric) AddBinding(from, to, contract object.ID) error {
+	f.pol.Bind(from, to, contract)
+	at := f.advance()
+	f.changes.Append(at, faultlog.OpModify, object.EPG(from), "bind contract")
+	f.changes.Append(at, faultlog.OpModify, object.EPG(to), "bind contract")
+	f.changes.Append(at, faultlog.OpModify, object.Contract(contract), "bind to epg pair")
+	return f.Deploy()
+}
+
+// RecordChange appends an arbitrary change-log entry without altering the
+// policy. Workload generators use it to simulate historical operator
+// activity.
+func (f *Fabric) RecordChange(op faultlog.ChangeOp, obj object.Ref, detail string) {
+	f.changes.Append(f.advance(), op, obj, detail)
+}
+
+func (f *Fabric) switchesForContract(contract object.ID) []object.ID {
+	seen := make(map[object.ID]struct{})
+	var out []object.ID
+	for _, b := range f.pol.Bindings {
+		if b.Contract != contract {
+			continue
+		}
+		for _, sw := range f.topology.SwitchesForPair(b.From, b.To) {
+			if _, dup := seen[sw]; dup {
+				continue
+			}
+			seen[sw] = struct{}{}
+			out = append(out, sw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Fault injection (the paper's §II-B failure modes) ---
+
+// Disconnect makes a switch unreachable from the controller (control
+// channel disruption / unresponsive switch) and raises a fault event.
+func (f *Fabric) Disconnect(sw object.ID) error {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return err
+	}
+	if s.reachable {
+		s.reachable = false
+		f.faults.Raise(f.advance(), faultlog.FaultSwitchUnreachable, sw, "heartbeat lost")
+	}
+	return nil
+}
+
+// Reconnect restores the control channel. Pending desired state is NOT
+// automatically re-pushed (the controller believes the switch is current),
+// preserving the inconsistency until the next full Deploy.
+func (f *Fabric) Reconnect(sw object.ID) error {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return err
+	}
+	if !s.reachable {
+		s.reachable = true
+		f.faults.Clear(f.advance(), faultlog.FaultSwitchUnreachable, sw)
+	}
+	return nil
+}
+
+// CrashAgent stops the switch agent: subsequently delivered instructions
+// queue without being rendered into TCAM (agent crash mid-update, §II-B).
+func (f *Fabric) CrashAgent(sw object.ID) error {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return err
+	}
+	if s.agentUp {
+		s.agentUp = false
+		f.faults.Raise(f.advance(), faultlog.FaultAgentCrash, sw, "agent process died")
+	}
+	return nil
+}
+
+// RestartAgent restarts the agent and renders any queued instructions.
+func (f *Fabric) RestartAgent(sw object.ID) error {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return err
+	}
+	if !s.agentUp {
+		s.agentUp = true
+		f.faults.Clear(f.advance(), faultlog.FaultAgentCrash, sw)
+		for _, r := range s.pending {
+			f.renderRule(s, r)
+		}
+		s.pending = nil
+	}
+	return nil
+}
+
+// CorruptTCAM flips bits in n random TCAM entries of switch sw. TCAM
+// corruption is a silent hardware fault: no fault-log event is raised
+// (§V-B notes such faults produce no logs).
+func (f *Fabric) CorruptTCAM(sw object.ID, n int, field tcam.CorruptionField) ([]rule.Key, error) {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return nil, err
+	}
+	f.advance()
+	return s.tcam.Corrupt(n, field, f.rng), nil
+}
+
+// EvictTCAM removes n random TCAM entries on switch sw (local eviction the
+// controller is unaware of). No fault event is raised.
+func (f *Fabric) EvictTCAM(sw object.ID, n int) ([]rule.Rule, error) {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return nil, err
+	}
+	f.advance()
+	return s.tcam.EvictRandom(n, f.rng), nil
+}
+
+// InjectObjectFault deletes from the TCAMs the rules derived from the
+// given policy object. fraction selects the portion of dependent rules to
+// delete: 1.0 is the paper's "full object fault", anything lower a
+// "partial object fault" (§VI-A). It returns the number of rules removed
+// and records a change-log entry for the object (faults in the paper's
+// evaluation stem from recent deployment actions on the object).
+func (f *Fabric) InjectObjectFault(ref object.Ref, fraction float64) (int, error) {
+	if f.deployed == nil {
+		return 0, errors.New("fabric: inject object fault before Deploy")
+	}
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("fabric: fraction %v out of (0,1]", fraction)
+	}
+	type target struct {
+		sw  object.ID
+		key rule.Key
+	}
+	var targets []target
+	for _, sw := range f.topology.Switches() {
+		for _, r := range f.deployed.BySwitch[sw] {
+			if r.HasProvenance(ref) {
+				targets = append(targets, target{sw: sw, key: r.Key()})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	n := len(targets)
+	if fraction < 1 {
+		n = int(float64(len(targets)) * fraction)
+		if n == 0 {
+			n = 1
+		}
+		f.rng.Shuffle(len(targets), func(i, j int) {
+			targets[i], targets[j] = targets[j], targets[i]
+		})
+	}
+	removed := 0
+	for _, t := range targets[:n] {
+		if f.switches[t.sw].tcam.Remove(t.key) {
+			removed++
+		}
+	}
+	f.changes.Append(f.advance(), faultlog.OpModify, ref, "configuration action preceding fault")
+	return removed, nil
+}
+
+// --- State collection ---
+
+// CollectTCAM returns the TCAM snapshot of switch sw (T-type rules). Rule
+// collection runs over a management path and is modeled as always
+// available, even while the policy control channel is down.
+func (f *Fabric) CollectTCAM(sw object.ID) ([]rule.Rule, error) {
+	s, err := f.Switch(sw)
+	if err != nil {
+		return nil, err
+	}
+	return s.tcam.Rules(), nil
+}
+
+// CollectAll returns TCAM snapshots for every switch.
+func (f *Fabric) CollectAll() map[object.ID][]rule.Rule {
+	out := make(map[object.ID][]rule.Rule, len(f.switches))
+	for id, s := range f.switches {
+		out[id] = s.tcam.Rules()
+	}
+	return out
+}

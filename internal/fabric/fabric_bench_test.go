@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"testing"
+
+	"scout/internal/object"
+	"scout/internal/workload"
+)
+
+// BenchmarkDeploy measures a full testbed-policy deployment (compile +
+// agent reconciliation + TCAM programming).
+func BenchmarkDeploy(b *testing.B) {
+	p, t, err := workload.Generate(workload.TestbedSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := New(p, t, Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := f.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalChange measures an AddFilterToContract change push
+// (the paper's §V-B dynamic-change workload).
+func BenchmarkIncrementalChange(b *testing.B) {
+	p, t, err := workload.Generate(workload.TestbedSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := New(p, t, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	contract := p.Bindings[0].Contract
+	filter := p.Contracts[contract].Filters[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := f.RemoveFilterFromContract(contract, filter); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := f.AddFilterToContract(contract, filter); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInjectObjectFault measures fault injection cost.
+func BenchmarkInjectObjectFault(b *testing.B) {
+	p, t, err := workload.Generate(workload.TestbedSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := New(p, t, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	objs := deployedObjectRefs(f)
+	if len(objs) == 0 {
+		b.Fatal("no objects")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.InjectObjectFault(objs[i%len(objs)], 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func deployedObjectRefs(f *Fabric) []object.Ref {
+	set := make(object.Set)
+	for _, refs := range f.Deployment().Provenance {
+		for _, ref := range refs {
+			set.Add(ref)
+		}
+	}
+	return set.Sorted()
+}

@@ -1,0 +1,362 @@
+// Package localize implements the paper's network-policy fault
+// localization algorithms over annotated risk models (§IV):
+//
+//   - SCOUT (Algorithms 1 and 2): a two-stage greedy solver. Stage one
+//     repeatedly picks the shared risks with hit ratio exactly 1 and
+//     maximum coverage, pruning every element that depends on a picked
+//     risk. Stage two explains the left-over observations — caused by
+//     partial object faults whose hit ratio is below 1 — by consulting the
+//     controller change log for recently-modified objects.
+//   - SCORE (Kompella et al.): the prior greedy min-set-cover baseline
+//     that admits every risk above a static hit-ratio threshold and picks
+//     by coverage. Partial faults below the threshold are treated as
+//     noise, which is the accuracy gap SCOUT closes.
+package localize
+
+import (
+	"sort"
+	"time"
+
+	"scout/internal/faultlog"
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// ChangeOracle answers whether a policy object has recently had
+// configuration actions applied — the change-log lookup of Algorithm 1
+// lines 21-24.
+type ChangeOracle interface {
+	RecentlyChanged(object.Ref) bool
+}
+
+// ChangeLogOracle adapts a controller change log: objects changed at or
+// after Since count as recent.
+type ChangeLogOracle struct {
+	Log   *faultlog.ChangeLog
+	Since time.Time
+}
+
+// RecentlyChanged reports whether ref has a change entry at or after Since.
+func (o ChangeLogOracle) RecentlyChanged(ref object.Ref) bool {
+	return o.Log.ChangedSince(ref, o.Since)
+}
+
+// SetOracle is a fixed set of recently-changed objects (used in
+// simulations and tests).
+type SetOracle object.Set
+
+// RecentlyChanged reports whether ref is in the set.
+func (o SetOracle) RecentlyChanged(ref object.Ref) bool {
+	return object.Set(o).Has(ref)
+}
+
+// NoChanges is an oracle that never reports changes; using it disables
+// SCOUT's second stage (the ablation in DESIGN.md §5).
+type NoChanges struct{}
+
+// RecentlyChanged always returns false.
+func (NoChanges) RecentlyChanged(object.Ref) bool { return false }
+
+var (
+	_ ChangeOracle = ChangeLogOracle{}
+	_ ChangeOracle = SetOracle(nil)
+	_ ChangeOracle = NoChanges{}
+)
+
+// Step records one greedy iteration for explainability: what was picked
+// and why.
+type Step struct {
+	// Picked are the risks selected this iteration (ties picked together).
+	Picked []object.Ref
+	// Coverage is the number of then-unexplained observations the picked
+	// set covered.
+	Coverage int
+	// Pruned is the number of elements removed from the working model.
+	Pruned int
+}
+
+// Result is the outcome of a localization run.
+type Result struct {
+	// Hypothesis is the minimal set of most-likely faulty objects, sorted.
+	Hypothesis []object.Ref
+	// Explained counts observations covered by the hypothesis.
+	Explained int
+	// Unexplained lists observations no hypothesis object accounts for.
+	Unexplained []risk.ElementID
+	// Iterations is the number of greedy rounds stage one executed.
+	Iterations int
+	// ChangeLogPicks lists the hypothesis objects contributed by the
+	// change-log stage (SCOUT only; empty for SCORE).
+	ChangeLogPicks []object.Ref
+	// Steps traces the greedy iterations in order (Scout stage one, or
+	// Score's per-pick rounds).
+	Steps []Step
+}
+
+// Gamma returns the suspect-set-reduction ratio γ = |H| / |suspect set|
+// for the result against the model it was computed from (paper §VI). It
+// returns 0 when there are no suspects.
+func (r *Result) Gamma(m *risk.Model) float64 {
+	suspects := m.SuspectSet()
+	if len(suspects) == 0 {
+		return 0
+	}
+	return float64(len(r.Hypothesis)) / float64(len(suspects))
+}
+
+// view is the mutable working state of the greedy algorithms: adjacency
+// extracted once from the (immutable) model plus an alive mask that
+// implements Algorithm 1's Prune.
+type view struct {
+	m *risk.Model
+	// deps[ref] = elements depending on ref.
+	deps map[object.Ref][]risk.ElementID
+	// failed[ref] = elements whose edge to ref is marked fail.
+	failed map[object.Ref]map[risk.ElementID]struct{}
+	alive  []bool
+}
+
+func newView(m *risk.Model) *view {
+	v := &view{
+		m:      m,
+		deps:   make(map[object.Ref][]risk.ElementID),
+		failed: make(map[object.Ref]map[risk.ElementID]struct{}),
+		alive:  make([]bool, m.NumElements()),
+	}
+	for i := range v.alive {
+		v.alive[i] = true
+	}
+	for _, ref := range m.Risks() {
+		v.deps[ref] = m.ElementsOf(ref)
+		set := make(map[risk.ElementID]struct{})
+		for _, el := range m.FailedElementsOf(ref) {
+			set[el] = struct{}{}
+		}
+		v.failed[ref] = set
+	}
+	return v
+}
+
+// aliveCounts returns (|Gi ∩ alive|, |Oi ∩ alive|) for risk ref.
+func (v *view) aliveCounts(ref object.Ref) (deps, failed int) {
+	for _, el := range v.deps[ref] {
+		if !v.alive[el] {
+			continue
+		}
+		deps++
+		if _, f := v.failed[ref][el]; f {
+			failed++
+		}
+	}
+	return deps, failed
+}
+
+// Scout runs the SCOUT algorithm (Algorithm 1) on the annotated model.
+// oracle supplies the change-log lookup for stage two; pass NoChanges{} to
+// disable it.
+func Scout(m *risk.Model, oracle ChangeOracle) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	// P: unexplained observations.
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+
+	for len(pending) > 0 {
+		res.Iterations++
+		// K: shared risks with a failed edge from some unexplained
+		// observation (lines 6-10).
+		candidates := make(object.Set)
+		for el := range pending {
+			for _, ref := range m.FailedRisksOf(el) {
+				candidates.Add(ref)
+			}
+		}
+		// pickCandidates (Algorithm 2): risks with hit ratio 1, then the
+		// max-coverage subset among them.
+		faultySet := pickCandidates(v, candidates, pending)
+		if len(faultySet) == 0 {
+			break
+		}
+		// Prune every element depending on a picked risk (lines 15-17).
+		step := Step{Picked: append([]object.Ref(nil), faultySet...)}
+		pendingBefore := len(pending)
+		for _, ref := range faultySet {
+			for _, el := range v.deps[ref] {
+				if !v.alive[el] {
+					continue
+				}
+				v.alive[el] = false
+				step.Pruned++
+				delete(pending, el)
+			}
+			hypothesis.Add(ref)
+		}
+		step.Coverage = pendingBefore - len(pending)
+		res.Steps = append(res.Steps, step)
+	}
+
+	// Stage two (lines 20-25): explain remaining observations via the
+	// change log.
+	if len(pending) > 0 && oracle != nil {
+		for el := range pending {
+			picked := false
+			for _, ref := range m.FailedRisksOf(el) {
+				if oracle.RecentlyChanged(ref) {
+					if !hypothesis.Has(ref) {
+						hypothesis.Add(ref)
+						res.ChangeLogPicks = append(res.ChangeLogPicks, ref)
+					}
+					picked = true
+				}
+			}
+			if picked {
+				delete(pending, el)
+			}
+		}
+		object.SortRefs(res.ChangeLogPicks)
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}
+
+// pickCandidates implements Algorithm 2: among the candidate risks, keep
+// those whose (alive) hit ratio is exactly 1, then return the subset with
+// the maximum number of unexplained observations covered.
+func pickCandidates(v *view, candidates object.Set, pending map[risk.ElementID]struct{}) []object.Ref {
+	maxCov := 0
+	var maxSet []object.Ref
+	for _, ref := range candidates.Sorted() {
+		deps, failed := v.aliveCounts(ref)
+		if deps == 0 || failed != deps {
+			continue // hit ratio < 1
+		}
+		cov := 0
+		for el := range v.failed[ref] {
+			if _, p := pending[el]; p {
+				cov++
+			}
+		}
+		if cov == 0 {
+			continue
+		}
+		switch {
+		case cov > maxCov:
+			maxCov = cov
+			maxSet = []object.Ref{ref}
+		case cov == maxCov:
+			maxSet = append(maxSet, ref)
+		}
+	}
+	return maxSet
+}
+
+// Score runs the SCORE baseline with the given hit-ratio threshold
+// (SCORE-X in the paper's figures, e.g. 0.6 or 1.0). Hit ratios are
+// computed once on the full model; eligible risks are greedily selected by
+// residual coverage until no eligible risk explains a new observation.
+func Score(m *risk.Model, threshold float64) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+
+	// Eligible risks: hit ratio >= threshold on the full model.
+	var eligible []object.Ref
+	for _, ref := range m.Risks() {
+		deps, failed := v.aliveCounts(ref) // full model: everything alive
+		if deps == 0 || failed == 0 {
+			continue
+		}
+		if float64(failed)/float64(deps) >= threshold {
+			eligible = append(eligible, ref)
+		}
+	}
+
+	for len(pending) > 0 {
+		best := object.Ref{}
+		bestCov := 0
+		for _, ref := range eligible {
+			if hypothesis.Has(ref) {
+				continue
+			}
+			cov := 0
+			for el := range v.failed[ref] {
+				if _, p := pending[el]; p {
+					cov++
+				}
+			}
+			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
+				best = ref
+				bestCov = cov
+			}
+		}
+		if bestCov == 0 {
+			break
+		}
+		res.Iterations++
+		hypothesis.Add(best)
+		pendingBefore := len(pending)
+		for el := range v.failed[best] {
+			delete(pending, el)
+		}
+		res.Steps = append(res.Steps, Step{
+			Picked:   []object.Ref{best},
+			Coverage: pendingBefore - len(pending),
+		})
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}
+
+func sortedElements(set map[risk.ElementID]struct{}) []risk.ElementID {
+	out := make([]risk.ElementID, 0, len(set))
+	for el := range set {
+		out = append(out, el)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Accuracy holds precision/recall of a hypothesis against ground truth.
+type Accuracy struct {
+	Precision float64
+	Recall    float64
+	// TruePositives = |G ∩ H|.
+	TruePositives int
+}
+
+// Evaluate computes precision (|G∩H|/|H|) and recall (|G∩H|/|G|) of the
+// result's hypothesis against the ground-truth faulty objects.
+func (r *Result) Evaluate(groundTruth []object.Ref) Accuracy {
+	g := object.NewSet(groundTruth...)
+	tp := 0
+	for _, ref := range r.Hypothesis {
+		if g.Has(ref) {
+			tp++
+		}
+	}
+	acc := Accuracy{TruePositives: tp}
+	if len(r.Hypothesis) > 0 {
+		acc.Precision = float64(tp) / float64(len(r.Hypothesis))
+	}
+	if len(groundTruth) > 0 {
+		acc.Recall = float64(tp) / float64(len(groundTruth))
+	}
+	return acc
+}

@@ -1,0 +1,68 @@
+package localize
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// benchModel builds a dense annotated model: elems elements, risks
+// shared risks, ~deg edges per element, a handful of full faults.
+func benchModel(b *testing.B, elems, risks, deg, faults int) *risk.Model {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	m := risk.NewModel("bench")
+	ids := make([]risk.ElementID, elems)
+	for i := range ids {
+		ids[i] = m.EnsureElement(labelFor(i))
+	}
+	for _, el := range ids {
+		for d := 0; d < deg; d++ {
+			m.AddEdge(el, object.Filter(object.ID(rng.Intn(risks))))
+		}
+	}
+	for f := 0; f < faults; f++ {
+		ref := object.Filter(object.ID(rng.Intn(risks)))
+		for _, el := range m.ElementsOf(ref) {
+			m.MarkFailed(el, ref)
+		}
+	}
+	return m
+}
+
+// BenchmarkScoutLarge measures SCOUT on a 50k-element model — roughly a
+// 150-switch controller risk model.
+func BenchmarkScoutLarge(b *testing.B) {
+	m := benchModel(b, 50000, 2000, 6, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Scout(m, NoChanges{})
+		if len(res.Hypothesis) == 0 {
+			b.Fatal("no hypothesis")
+		}
+	}
+}
+
+// BenchmarkScoreLarge measures the SCORE baseline on the same model.
+func BenchmarkScoreLarge(b *testing.B) {
+	m := benchModel(b, 50000, 2000, 6, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(m, 1.0)
+	}
+}
+
+// BenchmarkScoutSmall measures per-switch-model latency (hundreds of
+// elements), the event-driven AnalyzeSwitch path.
+func BenchmarkScoutSmall(b *testing.B) {
+	m := benchModel(b, 400, 80, 5, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Scout(m, NoChanges{})
+	}
+}

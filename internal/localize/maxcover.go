@@ -1,0 +1,69 @@
+// MaxCoverage: the unconstrained greedy set-cover baseline the paper's
+// §IV-A sketches ("finding a minimal set of policy objects that covers
+// risk models ... known to be NP-complete"). Unlike SCORE it applies no
+// hit-ratio filter at all: any risk with failed edges is eligible, picked
+// purely by residual coverage. It maximizes recall on the failure
+// signature but implicates heavily-shared objects (VRFs, popular EPGs)
+// whose hit ratios are tiny, so its precision collapses — the motivation
+// for SCOUT's hit-ratio stage.
+
+package localize
+
+import (
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// MaxCoverage runs plain greedy set cover over the failed edges of the
+// annotated model: repeatedly pick the risk explaining the most
+// still-unexplained observations until everything is explained.
+func MaxCoverage(m *risk.Model) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+	risks := m.Risks()
+
+	for len(pending) > 0 {
+		var best object.Ref
+		bestCov := 0
+		for _, ref := range risks {
+			if hypothesis.Has(ref) {
+				continue
+			}
+			cov := 0
+			for el := range v.failed[ref] {
+				if _, p := pending[el]; p {
+					cov++
+				}
+			}
+			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
+				best = ref
+				bestCov = cov
+			}
+		}
+		if bestCov == 0 {
+			break
+		}
+		res.Iterations++
+		hypothesis.Add(best)
+		pendingBefore := len(pending)
+		for el := range v.failed[best] {
+			delete(pending, el)
+		}
+		res.Steps = append(res.Steps, Step{
+			Picked:   []object.Ref{best},
+			Coverage: pendingBefore - len(pending),
+		})
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}

@@ -1,0 +1,212 @@
+package object
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindVRF, "vrf"},
+		{KindEPG, "epg"},
+		{KindContract, "contract"},
+		{KindFilter, "filter"},
+		{KindSwitch, "switch"},
+		{Kind(0), "kind(0)"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for _, k := range []Kind{KindVRF, KindEPG, KindContract, KindFilter, KindSwitch} {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	for _, k := range []Kind{0, 6, -1, 100} {
+		if k.Valid() {
+			t.Errorf("Kind(%d) should be invalid", int(k))
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{KindVRF, KindEPG, KindContract, KindFilter, KindSwitch} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind should reject unknown kinds")
+	}
+}
+
+func TestRefStringParseRoundTrip(t *testing.T) {
+	refs := []Ref{
+		VRF(101), EPG(0), Contract(42), Filter(65535), Switch(4294967295),
+	}
+	for _, r := range refs {
+		parsed, err := ParseRef(r.String())
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", r.String(), err)
+		}
+		if parsed != r {
+			t.Errorf("round trip %v -> %q -> %v", r, r.String(), parsed)
+		}
+	}
+}
+
+func TestParseRefErrors(t *testing.T) {
+	for _, s := range []string{"", "vrf", "vrf:", "vrf:abc", "bogus:1", ":5", "vrf:-1", "vrf:99999999999"} {
+		if _, err := ParseRef(s); err == nil {
+			t.Errorf("ParseRef(%q) should fail", s)
+		}
+	}
+}
+
+func TestRefStringParseRoundTripQuick(t *testing.T) {
+	kinds := []Kind{KindVRF, KindEPG, KindContract, KindFilter, KindSwitch}
+	f := func(kindIdx uint8, id uint32) bool {
+		r := Ref{Kind: kinds[int(kindIdx)%len(kinds)], ID: ID(id)}
+		parsed, err := ParseRef(r.String())
+		return err == nil && parsed == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefOrdering(t *testing.T) {
+	a, b, c := VRF(1), VRF(2), EPG(1)
+	if !a.Less(b) || b.Less(a) {
+		t.Error("vrf:1 < vrf:2")
+	}
+	if !a.Less(c) {
+		t.Error("kind dominates: vrf < epg")
+	}
+	if a.Compare(a) != 0 || a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("Compare inconsistent with Less")
+	}
+}
+
+func TestSortRefsIsTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kinds := []Kind{KindVRF, KindEPG, KindContract, KindFilter, KindSwitch}
+		refs := make([]Ref, 50)
+		for i := range refs {
+			refs[i] = Ref{Kind: kinds[rng.Intn(len(kinds))], ID: ID(rng.Intn(100))}
+		}
+		SortRefs(refs)
+		for i := 1; i < len(refs); i++ {
+			if refs[i].Less(refs[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(VRF(1), EPG(2))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Has(VRF(1)) || !s.Has(EPG(2)) || s.Has(EPG(3)) {
+		t.Error("Has answers wrong")
+	}
+	s.Add(EPG(3))
+	s.Add(EPG(3)) // idempotent
+	if s.Len() != 3 {
+		t.Errorf("Len after adds = %d, want 3", s.Len())
+	}
+	s.Remove(VRF(1))
+	if s.Has(VRF(1)) || s.Len() != 2 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestSetSortedDeterministic(t *testing.T) {
+	s := NewSet(Switch(9), VRF(3), Filter(1), EPG(7), Contract(5), VRF(1))
+	want := []Ref{VRF(1), VRF(3), EPG(7), Contract(5), Filter(1), Switch(9)}
+	if got := s.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sorted() = %v, want %v", got, want)
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a := NewSet(VRF(1), EPG(2), Filter(3))
+	b := NewSet(EPG(2), Filter(4))
+	u := a.Union(b)
+	if u.Len() != 4 {
+		t.Errorf("Union len = %d, want 4", u.Len())
+	}
+	i := a.Intersect(b)
+	if i.Len() != 1 || !i.Has(EPG(2)) {
+		t.Errorf("Intersect = %v, want {epg:2}", i.Sorted())
+	}
+	// Union/Intersect must not mutate inputs.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Error("set ops mutated operands")
+	}
+}
+
+func TestSetOpsLawsQuick(t *testing.T) {
+	mk := func(ids []uint8) Set {
+		s := make(Set)
+		for _, id := range ids {
+			s.Add(EPG(ID(id % 16)))
+		}
+		return s
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		u, i := a.Union(b), a.Intersect(b)
+		// |A∪B| + |A∩B| == |A| + |B|
+		if u.Len()+i.Len() != a.Len()+b.Len() {
+			return false
+		}
+		// Intersection ⊆ both; both ⊆ union.
+		for r := range i {
+			if !a.Has(r) || !b.Has(r) {
+				return false
+			}
+		}
+		for r := range a {
+			if !u.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefIsZero(t *testing.T) {
+	var zero Ref
+	if !zero.IsZero() {
+		t.Error("zero Ref should be zero")
+	}
+	if VRF(0).IsZero() {
+		t.Error("vrf:0 is a real ref, not zero")
+	}
+}

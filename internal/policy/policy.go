@@ -1,0 +1,338 @@
+// Package policy implements the abstract network-policy model of the paper
+// (§II): tenants express intent as endpoint groups (EPGs) connected by
+// contracts that reference filters, all scoped by a VRF. The model mirrors
+// Cisco APIC / GBP / PGA-style policy abstractions.
+//
+// The package also contains the policy compiler that renders a policy into
+// per-switch logical TCAM rules (L-type rules) with full object provenance.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// VRF is a virtual-routing-and-forwarding object: the layer-3 scope shared
+// by a group of EPGs. A single VRF can span many tenants (and vice versa).
+type VRF struct {
+	ID   object.ID `json:"id"`
+	Name string    `json:"name"`
+}
+
+// EPG is an endpoint group: a set of endpoints (servers, VMs, middleboxes)
+// belonging to the same application tier, scoped by one VRF.
+type EPG struct {
+	ID   object.ID `json:"id"`
+	Name string    `json:"name"`
+	VRF  object.ID `json:"vrf"`
+}
+
+// Endpoint is a single attachable workload (server, VM) that belongs to an
+// EPG and is physically connected to a leaf switch.
+type Endpoint struct {
+	ID     object.ID `json:"id"`
+	Name   string    `json:"name"`
+	EPG    object.ID `json:"epg"`
+	Switch object.ID `json:"switch"`
+}
+
+// FilterEntry describes one (protocol, port-range, action) clause of a
+// filter, e.g. "tcp port 80 allow".
+type FilterEntry struct {
+	Proto  rule.Protocol `json:"proto"`
+	PortLo uint16        `json:"portLo"`
+	PortHi uint16        `json:"portHi"`
+	Action rule.Action   `json:"action"`
+}
+
+// PortEntry is a convenience constructor for a single-port allow entry.
+func PortEntry(proto rule.Protocol, port uint16) FilterEntry {
+	return FilterEntry{Proto: proto, PortLo: port, PortHi: port, Action: rule.Allow}
+}
+
+// Filter is a reusable set of traffic-classification entries. Filters
+// implement whitelisting: traffic not covered by an allow entry of some
+// applied filter is dropped by the default-deny rule.
+type Filter struct {
+	ID      object.ID     `json:"id"`
+	Name    string        `json:"name"`
+	Entries []FilterEntry `json:"entries"`
+}
+
+// Contract glues EPG pairs to filters: it defines which filters apply to
+// traffic between the EPGs bound to it. Modifying a contract's filter list
+// changes behaviour for every EPG pair bound to the contract.
+type Contract struct {
+	ID      object.ID   `json:"id"`
+	Name    string      `json:"name"`
+	Filters []object.ID `json:"filters"`
+}
+
+// Binding attaches a contract to a (consumer, provider) EPG pair. Rules are
+// rendered symmetrically for both traffic directions, as in the paper's
+// Figure 2.
+type Binding struct {
+	From     object.ID `json:"from"`
+	To       object.ID `json:"to"`
+	Contract object.ID `json:"contract"`
+}
+
+// EPGPair is an unordered pair of EPG IDs — the unit that risk models track
+// as potentially impacted by shared-risk failures.
+type EPGPair struct {
+	A object.ID `json:"a"`
+	B object.ID `json:"b"`
+}
+
+// MakeEPGPair returns the canonical (ordered) form of the pair {a, b}.
+func MakeEPGPair(a, b object.ID) EPGPair {
+	if b < a {
+		a, b = b, a
+	}
+	return EPGPair{A: a, B: b}
+}
+
+// String renders the pair as "a-b".
+func (p EPGPair) String() string { return fmt.Sprintf("%d-%d", p.A, p.B) }
+
+// Less orders pairs lexicographically.
+func (p EPGPair) Less(q EPGPair) bool {
+	if p.A != q.A {
+		return p.A < q.A
+	}
+	return p.B < q.B
+}
+
+// Policy is a complete tenant network policy: the desired state maintained
+// at the controller.
+type Policy struct {
+	Name      string                  `json:"name"`
+	VRFs      map[object.ID]*VRF      `json:"vrfs"`
+	EPGs      map[object.ID]*EPG      `json:"epgs"`
+	Endpoints map[object.ID]*Endpoint `json:"endpoints"`
+	Filters   map[object.ID]*Filter   `json:"filters"`
+	Contracts map[object.ID]*Contract `json:"contracts"`
+	Bindings  []Binding               `json:"bindings"`
+}
+
+// New returns an empty policy with the given name.
+func New(name string) *Policy {
+	return &Policy{
+		Name:      name,
+		VRFs:      make(map[object.ID]*VRF),
+		EPGs:      make(map[object.ID]*EPG),
+		Endpoints: make(map[object.ID]*Endpoint),
+		Filters:   make(map[object.ID]*Filter),
+		Contracts: make(map[object.ID]*Contract),
+	}
+}
+
+// AddVRF inserts a VRF object.
+func (p *Policy) AddVRF(v VRF) *Policy {
+	p.VRFs[v.ID] = &v
+	return p
+}
+
+// AddEPG inserts an EPG object.
+func (p *Policy) AddEPG(e EPG) *Policy {
+	p.EPGs[e.ID] = &e
+	return p
+}
+
+// AddEndpoint inserts an endpoint.
+func (p *Policy) AddEndpoint(e Endpoint) *Policy {
+	p.Endpoints[e.ID] = &e
+	return p
+}
+
+// AddFilter inserts a filter object.
+func (p *Policy) AddFilter(f Filter) *Policy {
+	cp := f
+	cp.Entries = append([]FilterEntry(nil), f.Entries...)
+	p.Filters[f.ID] = &cp
+	return p
+}
+
+// AddContract inserts a contract object.
+func (p *Policy) AddContract(c Contract) *Policy {
+	cp := c
+	cp.Filters = append([]object.ID(nil), c.Filters...)
+	p.Contracts[c.ID] = &cp
+	return p
+}
+
+// Bind attaches contract to the EPG pair (from, to).
+func (p *Policy) Bind(from, to, contract object.ID) *Policy {
+	p.Bindings = append(p.Bindings, Binding{From: from, To: to, Contract: contract})
+	return p
+}
+
+// Validate checks referential integrity of the policy: every EPG references
+// an existing VRF, every endpoint an existing EPG, every contract existing
+// filters, and every binding existing EPGs (in the same VRF) and contract.
+func (p *Policy) Validate() error {
+	for id, e := range p.EPGs {
+		if _, ok := p.VRFs[e.VRF]; !ok {
+			return fmt.Errorf("policy %q: epg %d references unknown vrf %d", p.Name, id, e.VRF)
+		}
+	}
+	for id, ep := range p.Endpoints {
+		if _, ok := p.EPGs[ep.EPG]; !ok {
+			return fmt.Errorf("policy %q: endpoint %d references unknown epg %d", p.Name, id, ep.EPG)
+		}
+	}
+	for id, c := range p.Contracts {
+		for _, f := range c.Filters {
+			if _, ok := p.Filters[f]; !ok {
+				return fmt.Errorf("policy %q: contract %d references unknown filter %d", p.Name, id, f)
+			}
+		}
+	}
+	for i, b := range p.Bindings {
+		from, ok := p.EPGs[b.From]
+		if !ok {
+			return fmt.Errorf("policy %q: binding %d references unknown epg %d", p.Name, i, b.From)
+		}
+		to, ok := p.EPGs[b.To]
+		if !ok {
+			return fmt.Errorf("policy %q: binding %d references unknown epg %d", p.Name, i, b.To)
+		}
+		if from.VRF != to.VRF {
+			return fmt.Errorf("policy %q: binding %d crosses VRFs (%d vs %d)", p.Name, i, from.VRF, to.VRF)
+		}
+		if _, ok := p.Contracts[b.Contract]; !ok {
+			return fmt.Errorf("policy %q: binding %d references unknown contract %d", p.Name, i, b.Contract)
+		}
+	}
+	for id, f := range p.Filters {
+		for _, e := range f.Entries {
+			if e.PortLo > e.PortHi {
+				return fmt.Errorf("policy %q: filter %d has inverted port range %d-%d", p.Name, id, e.PortLo, e.PortHi)
+			}
+		}
+	}
+	return nil
+}
+
+// Pairs returns all distinct EPG pairs that appear in bindings, sorted.
+func (p *Policy) Pairs() []EPGPair {
+	set := make(map[EPGPair]struct{}, len(p.Bindings))
+	for _, b := range p.Bindings {
+		set[MakeEPGPair(b.From, b.To)] = struct{}{}
+	}
+	out := make([]EPGPair, 0, len(set))
+	for pr := range set {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// EndpointsOf returns the endpoints belonging to the given EPG, sorted by ID.
+func (p *Policy) EndpointsOf(epg object.ID) []*Endpoint {
+	var out []*Endpoint
+	for _, ep := range p.Endpoints {
+		if ep.EPG == epg {
+			out = append(out, ep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Objects returns the refs of every policy object in the policy (VRFs,
+// EPGs, contracts, filters), sorted.
+func (p *Policy) Objects() []object.Ref {
+	out := make([]object.Ref, 0, len(p.VRFs)+len(p.EPGs)+len(p.Contracts)+len(p.Filters))
+	for id := range p.VRFs {
+		out = append(out, object.VRF(id))
+	}
+	for id := range p.EPGs {
+		out = append(out, object.EPG(id))
+	}
+	for id := range p.Contracts {
+		out = append(out, object.Contract(id))
+	}
+	for id := range p.Filters {
+		out = append(out, object.Filter(id))
+	}
+	object.SortRefs(out)
+	return out
+}
+
+// Stats summarizes object counts, mirroring the dataset description in the
+// paper's §VI-A.
+type Stats struct {
+	VRFs      int `json:"vrfs"`
+	EPGs      int `json:"epgs"`
+	Endpoints int `json:"endpoints"`
+	Contracts int `json:"contracts"`
+	Filters   int `json:"filters"`
+	Bindings  int `json:"bindings"`
+	EPGPairs  int `json:"epgPairs"`
+}
+
+// Stats returns object counts for the policy.
+func (p *Policy) Stats() Stats {
+	return Stats{
+		VRFs:      len(p.VRFs),
+		EPGs:      len(p.EPGs),
+		Endpoints: len(p.Endpoints),
+		Contracts: len(p.Contracts),
+		Filters:   len(p.Filters),
+		Bindings:  len(p.Bindings),
+		EPGPairs:  len(p.Pairs()),
+	}
+}
+
+// MarshalJSON serializes the policy with map entries in deterministic order.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	type alias Policy // avoid recursion
+	return json.Marshal((*alias)(p))
+}
+
+// FromJSON deserializes a policy previously produced by json.Marshal.
+func FromJSON(data []byte) (*Policy, error) {
+	p := New("")
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("decode policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Clone returns a deep copy of the policy. The fabric controller clones the
+// policy so that later user edits do not mutate the deployed desired state.
+func (p *Policy) Clone() *Policy {
+	out := New(p.Name)
+	for id, v := range p.VRFs {
+		cp := *v
+		out.VRFs[id] = &cp
+	}
+	for id, e := range p.EPGs {
+		cp := *e
+		out.EPGs[id] = &cp
+	}
+	for id, ep := range p.Endpoints {
+		cp := *ep
+		out.Endpoints[id] = &cp
+	}
+	for id, f := range p.Filters {
+		cp := *f
+		cp.Entries = append([]FilterEntry(nil), f.Entries...)
+		out.Filters[id] = &cp
+	}
+	for id, c := range p.Contracts {
+		cp := *c
+		cp.Filters = append([]object.ID(nil), c.Filters...)
+		out.Contracts[id] = &cp
+	}
+	out.Bindings = append([]Binding(nil), p.Bindings...)
+	return out
+}

@@ -1,0 +1,206 @@
+// Package probe implements the paper's alternative observation source
+// (§III-C): active connectivity probing. An EPG pair becomes an
+// observation when its endpoints are *allowed to communicate by the
+// policy but fail to do so* in the dataplane. The prober synthesizes one
+// probe packet per (switch, EPG pair, filter entry) from the compiled
+// deployment, classifies it against the switch's TCAM, and reports
+// violations — policy-allowed probes that the hardware denies (missing
+// rules) and policy-denied probes the hardware lets through (extra
+// behaviour from corruption).
+//
+// Probing complements the ROBDD equivalence checker: it needs no access
+// to the full TCAM dump (only forwarding behaviour), at the cost of
+// sampling rather than exhaustively verifying the header space. Both
+// sources feed the same risk-model augmentation.
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"scout/internal/compile"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/risk"
+	"scout/internal/rule"
+	"scout/internal/tcam"
+)
+
+// Packet is one synthesized probe: the header tuple a pair's traffic
+// would carry.
+type Packet struct {
+	VRF    object.ID
+	SrcEPG object.ID
+	DstEPG object.ID
+	Proto  rule.Protocol
+	Port   uint16
+}
+
+// String renders the probe header.
+func (p Packet) String() string {
+	return fmt.Sprintf("vrf=%d %d->%d %s:%d", p.VRF, p.SrcEPG, p.DstEPG, p.Proto, p.Port)
+}
+
+// Violation is one probe outcome that contradicts the policy.
+type Violation struct {
+	Switch object.ID
+	Pair   policy.EPGPair
+	Packet Packet
+	// Expected is the action the policy prescribes; Got is what the TCAM
+	// did (Got == 0 when no rule matched at all).
+	Expected rule.Action
+	Got      rule.Action
+	// Rule is the logical rule the probe was derived from; its
+	// provenance identifies the implicated policy objects.
+	Rule rule.Rule
+}
+
+// String renders the violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("switch %d pair %s probe %s: want %v, got %v",
+		v.Switch, v.Pair, v.Packet, v.Expected, v.Got)
+}
+
+// Classifier is the dataplane surface a probe needs: first-match
+// classification. *tcam.TCAM implements it.
+type Classifier interface {
+	Classify(vrf, src, dst object.ID, proto rule.Protocol, port uint16) (rule.Action, bool)
+}
+
+var _ Classifier = (*tcam.TCAM)(nil)
+
+// Prober synthesizes and evaluates probes for a compiled deployment.
+type Prober struct {
+	d *compile.Deployment
+}
+
+// New creates a prober over the deployment.
+func New(d *compile.Deployment) *Prober {
+	return &Prober{d: d}
+}
+
+// ProbeSwitch probes every (pair, rule) deployed on switch sw against
+// the given classifier and returns the violations in deterministic
+// order. Each allow rule contributes one probe at its low port (the
+// paper's per-rule missing/present granularity).
+func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
+	var out []Violation
+	rules := p.d.RulesFor(sw)
+	for _, r := range rules {
+		if r.Action != rule.Allow || r.Match.WildcardSrc || r.Match.WildcardDst {
+			continue
+		}
+		pkt := Packet{
+			VRF:    r.Match.VRF,
+			SrcEPG: r.Match.SrcEPG,
+			DstEPG: r.Match.DstEPG,
+			Proto:  r.Match.Proto,
+			Port:   r.Match.PortLo,
+		}
+		got, matched := dataplane.Classify(pkt.VRF, pkt.SrcEPG, pkt.DstEPG, pkt.Proto, pkt.Port)
+		if matched && got == r.Action {
+			continue
+		}
+		if !matched {
+			got = 0
+		}
+		out = append(out, Violation{
+			Switch:   sw,
+			Pair:     policy.MakeEPGPair(pkt.SrcEPG, pkt.DstEPG),
+			Packet:   pkt,
+			Expected: r.Action,
+			Got:      got,
+			Rule:     r.Clone(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return violationLess(out[i], out[j]) })
+	return out
+}
+
+// ProbeAll probes every switch in the deployment. dataplanes maps switch
+// IDs to their classification surface (e.g. collected from
+// fabric.Fabric via Switch(sw).TCAM()).
+func (p *Prober) ProbeAll(dataplanes map[object.ID]Classifier) []Violation {
+	var switches []object.ID
+	for sw := range p.d.BySwitch {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	var out []Violation
+	for _, sw := range switches {
+		dp, ok := dataplanes[sw]
+		if !ok {
+			continue
+		}
+		out = append(out, p.ProbeSwitch(sw, dp)...)
+	}
+	return out
+}
+
+func violationLess(a, b Violation) bool {
+	if a.Switch != b.Switch {
+		return a.Switch < b.Switch
+	}
+	if a.Pair != b.Pair {
+		return a.Pair.Less(b.Pair)
+	}
+	if a.Packet.Proto != b.Packet.Proto {
+		return a.Packet.Proto < b.Packet.Proto
+	}
+	return a.Packet.Port < b.Packet.Port
+}
+
+// MissingRules converts violations into the missing-rule form the risk
+// models consume (the same shape the equivalence checker outputs): the
+// logical rules whose behaviour the probes showed to be absent.
+func MissingRules(violations []Violation) []rule.Rule {
+	seen := make(map[rule.Key]struct{}, len(violations))
+	var out []rule.Rule
+	for _, v := range violations {
+		k := v.Rule.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v.Rule)
+	}
+	return out
+}
+
+// AugmentSwitchModel feeds probe violations for one switch into that
+// switch's risk model, marking the violated pairs' edges to the
+// implicated objects as failed. It returns the number of edges newly
+// marked.
+func AugmentSwitchModel(m *risk.Model, violations []Violation, prov map[rule.Key][]object.Ref) int {
+	return risk.AugmentSwitchModel(m, MissingRules(violations), prov)
+}
+
+// AugmentControllerModel feeds per-switch probe violations into the
+// controller risk model.
+func AugmentControllerModel(m *risk.Model, violations []Violation, prov map[rule.Key][]object.Ref) int {
+	bySwitch := make(map[object.ID][]rule.Rule)
+	seen := make(map[object.ID]map[rule.Key]struct{})
+	for _, v := range violations {
+		ks, ok := seen[v.Switch]
+		if !ok {
+			ks = make(map[rule.Key]struct{})
+			seen[v.Switch] = ks
+		}
+		k := v.Rule.Key()
+		if _, dup := ks[k]; dup {
+			continue
+		}
+		ks[k] = struct{}{}
+		bySwitch[v.Switch] = append(bySwitch[v.Switch], v.Rule)
+	}
+	marked := 0
+	var switches []object.ID
+	for sw := range bySwitch {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	for _, sw := range switches {
+		marked += risk.AugmentControllerModel(m, sw, bySwitch[sw], prov)
+	}
+	return marked
+}

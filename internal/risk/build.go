@@ -1,0 +1,118 @@
+// Risk-model construction from a compiled deployment, and augmentation
+// with the missing rules produced by the L-T equivalence checker (§III-C).
+
+package risk
+
+import (
+	"fmt"
+
+	"scout/internal/compile"
+	"scout/internal/object"
+	"scout/internal/policy"
+	"scout/internal/rule"
+)
+
+// BuildSwitchModel constructs the switch risk model for a single switch
+// (paper Figure 4(a)): elements are the EPG pairs deployed on the switch,
+// risks are the policy objects each pair's rules depend on.
+func BuildSwitchModel(d *compile.Deployment, sw object.ID) *Model {
+	m := NewModel(fmt.Sprintf("switch-%d", sw))
+	for sp, keys := range d.PairRules {
+		if sp.Switch != sw {
+			continue
+		}
+		el := m.EnsureElement(sp.Pair.String())
+		for _, k := range keys {
+			for _, ref := range d.Provenance[k] {
+				m.AddEdge(el, ref)
+			}
+		}
+	}
+	return m
+}
+
+// ControllerModelOptions configures controller-model construction.
+type ControllerModelOptions struct {
+	// IncludeSwitchRisk adds each triplet's switch as a shared risk, so
+	// that whole-switch failures (unresponsive switch, §V-B use case 3)
+	// are localizable to the physical object.
+	IncludeSwitchRisk bool
+}
+
+// BuildControllerModel constructs the controller risk model (paper Figure
+// 4(b)): elements are (switch, EPG pair) triplets across the whole fabric;
+// risks are the policy objects each pair relies on in that switch, plus
+// optionally the switch itself.
+func BuildControllerModel(d *compile.Deployment, opts ControllerModelOptions) *Model {
+	m := NewModel("controller")
+	for _, sp := range d.SwitchPairs() {
+		el := m.EnsureElement(sp.String())
+		for _, k := range d.PairRules[sp] {
+			for _, ref := range d.Provenance[k] {
+				m.AddEdge(el, ref)
+			}
+		}
+		if opts.IncludeSwitchRisk {
+			m.AddEdge(el, object.Switch(sp.Switch))
+		}
+	}
+	return m
+}
+
+// AugmentSwitchModel marks failures in a switch risk model from the
+// missing rules the equivalence checker reported for that switch. For
+// every missing rule, the EPG pair it serves becomes an observation and
+// the edges to all objects in the rule's provenance are flagged fail. It
+// returns the number of edges newly marked failed.
+func AugmentSwitchModel(m *Model, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
+	marked := 0
+	for _, r := range missing {
+		pair := policy.MakeEPGPair(r.Match.SrcEPG, r.Match.DstEPG)
+		el, ok := m.ElementByLabel(pair.String())
+		if !ok {
+			continue // rule for a pair not modeled on this switch
+		}
+		for _, ref := range provenanceOf(r, prov) {
+			if m.MarkFailed(el, ref) {
+				marked++
+			}
+		}
+	}
+	return marked
+}
+
+// AugmentControllerModel marks failures in the controller risk model from
+// the per-switch missing-rule reports. markSwitch controls whether the
+// triplet's edge to its switch risk (if modeled) is also flagged.
+func AugmentControllerModel(m *Model, sw object.ID, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
+	marked := 0
+	for _, r := range missing {
+		pair := policy.MakeEPGPair(r.Match.SrcEPG, r.Match.DstEPG)
+		sp := compile.SwitchPair{Switch: sw, Pair: pair}
+		el, ok := m.ElementByLabel(sp.String())
+		if !ok {
+			continue
+		}
+		for _, ref := range provenanceOf(r, prov) {
+			if m.MarkFailed(el, ref) {
+				marked++
+			}
+		}
+		if _, hasSwitchRisk := m.RiskByRef(object.Switch(sw)); hasSwitchRisk {
+			if m.MarkFailed(el, object.Switch(sw)) {
+				marked++
+			}
+		}
+	}
+	return marked
+}
+
+func provenanceOf(r rule.Rule, prov map[rule.Key][]object.Ref) []object.Ref {
+	if len(r.Provenance) > 0 {
+		return r.Provenance
+	}
+	if prov == nil {
+		return nil
+	}
+	return prov[r.Key()]
+}

@@ -1,0 +1,57 @@
+// Graphviz export of risk models, rendering the paper's Figure 4/5
+// bipartite diagrams: affected elements on the left, shared risks on the
+// right, failed edges highlighted.
+
+package risk
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the model as a Graphviz digraph. Failed edges and
+// observation elements are drawn red; healthy edges gray. maxElements
+// bounds output size for huge models (0 = no bound).
+func (m *Model) WriteDOT(w io.Writer, maxElements int) error {
+	var b strings.Builder
+	b.WriteString("digraph riskmodel {\n")
+	b.WriteString("  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  label=%q;\n", m.name)
+	b.WriteString("  node [fontsize=10];\n")
+
+	n := len(m.elements)
+	if maxElements > 0 && n > maxElements {
+		n = maxElements
+	}
+	for i := 0; i < n; i++ {
+		e := m.elements[i]
+		color := "black"
+		if len(e.failed) > 0 {
+			color = "red"
+		}
+		fmt.Fprintf(&b, "  e%d [label=%q shape=box color=%s];\n", i, e.label, color)
+	}
+
+	// Emit only risks adjacent to the emitted elements.
+	emitted := make(map[RiskID]bool)
+	for i := 0; i < n; i++ {
+		for _, r := range m.elements[i].risks {
+			if !emitted[r] {
+				emitted[r] = true
+				fmt.Fprintf(&b, "  r%d [label=%q shape=ellipse];\n", int(r), m.risks[r].ref.String())
+			}
+			style := "color=gray"
+			if _, failed := m.elements[i].failed[r]; failed {
+				style = "color=red penwidth=2"
+			}
+			fmt.Fprintf(&b, "  e%d -> r%d [%s];\n", i, int(r), style)
+		}
+	}
+	if n < len(m.elements) {
+		fmt.Fprintf(&b, "  trunc [label=\"… %d more elements\" shape=plaintext];\n", len(m.elements)-n)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,354 @@
+// Package risk implements the paper's risk models (§III): bipartite
+// graphs between shared risks (policy objects, and switches in the
+// controller model) and the elements they can impact (EPG pairs, or
+// (switch, EPG pair) triplets). Edges are flagged success or fail; an
+// element with at least one failed edge is an observation, and the set of
+// observations forms the failure signature consumed by the localization
+// algorithms.
+package risk
+
+import (
+	"fmt"
+	"sort"
+
+	"scout/internal/object"
+)
+
+// ElementID is a dense index of an affected element within a Model.
+type ElementID int
+
+// RiskID is a dense index of a shared risk within a Model.
+type RiskID int
+
+type elementData struct {
+	label  string
+	risks  []RiskID
+	failed map[RiskID]struct{}
+}
+
+type riskData struct {
+	ref      object.Ref
+	elements []ElementID
+}
+
+// Model is a bipartite risk graph. Build it with AddElement/AddEdge, then
+// annotate failures with MarkFailed. A Model is not safe for concurrent
+// mutation.
+type Model struct {
+	name     string
+	elements []elementData
+	byLabel  map[string]ElementID
+
+	risks  []riskData
+	byRef  map[object.Ref]RiskID
+	edges  int
+	failed int // failed edge count
+}
+
+// NewModel creates an empty risk model with a diagnostic name.
+func NewModel(name string) *Model {
+	return &Model{
+		name:    name,
+		byLabel: make(map[string]ElementID),
+		byRef:   make(map[object.Ref]RiskID),
+	}
+}
+
+// Name returns the model's diagnostic name.
+func (m *Model) Name() string { return m.name }
+
+// NumElements returns the number of affected elements.
+func (m *Model) NumElements() int { return len(m.elements) }
+
+// NumRisks returns the number of shared risks.
+func (m *Model) NumRisks() int { return len(m.risks) }
+
+// NumEdges returns the number of element↔risk edges.
+func (m *Model) NumEdges() int { return m.edges }
+
+// NumFailedEdges returns the number of edges marked fail.
+func (m *Model) NumFailedEdges() int { return m.failed }
+
+// EnsureElement returns the element with the given label, creating it if
+// needed.
+func (m *Model) EnsureElement(label string) ElementID {
+	if id, ok := m.byLabel[label]; ok {
+		return id
+	}
+	id := ElementID(len(m.elements))
+	m.elements = append(m.elements, elementData{label: label})
+	m.byLabel[label] = id
+	return id
+}
+
+// ElementByLabel looks up an element by label.
+func (m *Model) ElementByLabel(label string) (ElementID, bool) {
+	id, ok := m.byLabel[label]
+	return id, ok
+}
+
+// Label returns the element's label.
+func (m *Model) Label(el ElementID) string { return m.elements[el].label }
+
+// EnsureRisk returns the risk node for ref, creating it if needed.
+func (m *Model) EnsureRisk(ref object.Ref) RiskID {
+	if id, ok := m.byRef[ref]; ok {
+		return id
+	}
+	id := RiskID(len(m.risks))
+	m.risks = append(m.risks, riskData{ref: ref})
+	m.byRef[ref] = id
+	return id
+}
+
+// RiskByRef looks up a risk node by object reference.
+func (m *Model) RiskByRef(ref object.Ref) (RiskID, bool) {
+	id, ok := m.byRef[ref]
+	return id, ok
+}
+
+// Ref returns the object reference of a risk node.
+func (m *Model) Ref(r RiskID) object.Ref { return m.risks[r].ref }
+
+// AddEdge connects an element to a risk (idempotent). New edges start in
+// the success state.
+func (m *Model) AddEdge(el ElementID, ref object.Ref) {
+	r := m.EnsureRisk(ref)
+	for _, existing := range m.elements[el].risks {
+		if existing == r {
+			return
+		}
+	}
+	m.elements[el].risks = append(m.elements[el].risks, r)
+	m.risks[r].elements = append(m.risks[r].elements, el)
+	m.edges++
+}
+
+// MarkFailed flags the edge between el and ref as fail, creating the edge
+// if it did not exist (an observed violation always implicates the object,
+// §III-C). It reports whether the edge transitioned to failed.
+func (m *Model) MarkFailed(el ElementID, ref object.Ref) bool {
+	m.AddEdge(el, ref)
+	r := m.byRef[ref]
+	e := &m.elements[el]
+	if e.failed == nil {
+		e.failed = make(map[RiskID]struct{})
+	}
+	if _, already := e.failed[r]; already {
+		return false
+	}
+	e.failed[r] = struct{}{}
+	m.failed++
+	return true
+}
+
+// EdgeFailed reports whether the edge el↔ref exists and is marked fail.
+func (m *Model) EdgeFailed(el ElementID, ref object.Ref) bool {
+	r, ok := m.byRef[ref]
+	if !ok {
+		return false
+	}
+	_, failed := m.elements[el].failed[r]
+	return failed
+}
+
+// IsObservation reports whether the element has at least one failed edge.
+func (m *Model) IsObservation(el ElementID) bool {
+	return len(m.elements[el].failed) > 0
+}
+
+// RisksOf returns the risk refs the element depends on, sorted.
+func (m *Model) RisksOf(el ElementID) []object.Ref {
+	out := make([]object.Ref, 0, len(m.elements[el].risks))
+	for _, r := range m.elements[el].risks {
+		out = append(out, m.risks[r].ref)
+	}
+	object.SortRefs(out)
+	return out
+}
+
+// FailedRisksOf returns the refs of risks with a failed edge to el, sorted.
+func (m *Model) FailedRisksOf(el ElementID) []object.Ref {
+	e := m.elements[el]
+	out := make([]object.Ref, 0, len(e.failed))
+	for r := range e.failed {
+		out = append(out, m.risks[r].ref)
+	}
+	object.SortRefs(out)
+	return out
+}
+
+// ElementsOf returns the element IDs depending on risk ref.
+func (m *Model) ElementsOf(ref object.Ref) []ElementID {
+	r, ok := m.byRef[ref]
+	if !ok {
+		return nil
+	}
+	out := make([]ElementID, len(m.risks[r].elements))
+	copy(out, m.risks[r].elements)
+	return out
+}
+
+// NumDependents returns |Gi| for risk ref: the number of elements that
+// depend on it.
+func (m *Model) NumDependents(ref object.Ref) int {
+	r, ok := m.byRef[ref]
+	if !ok {
+		return 0
+	}
+	return len(m.risks[r].elements)
+}
+
+// FailedElementsOf returns Oi for risk ref: the elements whose edge to ref
+// is marked fail.
+func (m *Model) FailedElementsOf(ref object.Ref) []ElementID {
+	r, ok := m.byRef[ref]
+	if !ok {
+		return nil
+	}
+	var out []ElementID
+	for _, el := range m.risks[r].elements {
+		if _, f := m.elements[el].failed[r]; f {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// FailureSignature returns the sorted IDs of all observations (elements
+// with at least one failed edge) — the paper's failure signature F.
+func (m *Model) FailureSignature() []ElementID {
+	var out []ElementID
+	for i := range m.elements {
+		if len(m.elements[i].failed) > 0 {
+			out = append(out, ElementID(i))
+		}
+	}
+	return out
+}
+
+// Risks returns all risk refs in the model, sorted.
+func (m *Model) Risks() []object.Ref {
+	out := make([]object.Ref, 0, len(m.risks))
+	for i := range m.risks {
+		out = append(out, m.risks[i].ref)
+	}
+	object.SortRefs(out)
+	return out
+}
+
+// HitRatio returns |Oi|/|Gi| for risk ref: the fraction of dependent
+// elements that are observations *due to a failed edge to this risk*.
+// It returns 0 for unknown risks or risks with no dependents.
+func (m *Model) HitRatio(ref object.Ref) float64 {
+	r, ok := m.byRef[ref]
+	if !ok || len(m.risks[r].elements) == 0 {
+		return 0
+	}
+	failed := 0
+	for _, el := range m.risks[r].elements {
+		if _, f := m.elements[el].failed[r]; f {
+			failed++
+		}
+	}
+	return float64(failed) / float64(len(m.risks[r].elements))
+}
+
+// CoverageRatio returns |Oi|/|F| for risk ref given the current failure
+// signature size.
+func (m *Model) CoverageRatio(ref object.Ref) float64 {
+	sig := len(m.FailureSignature())
+	if sig == 0 {
+		return 0
+	}
+	r, ok := m.byRef[ref]
+	if !ok {
+		return 0
+	}
+	failed := 0
+	for _, el := range m.risks[r].elements {
+		if _, f := m.elements[el].failed[r]; f {
+			failed++
+		}
+	}
+	return float64(failed) / float64(sig)
+}
+
+// SuspectSet returns the union of risks with a failed edge to any
+// observation: the objects an admin would have to examine without fault
+// localization (the denominator of the paper's suspect-set-reduction
+// metric γ).
+func (m *Model) SuspectSet() []object.Ref {
+	set := make(object.Set)
+	for i := range m.elements {
+		for r := range m.elements[i].failed {
+			set.Add(m.risks[r].ref)
+		}
+	}
+	return set.Sorted()
+}
+
+// DependencyHistogram returns, per object kind, the number of elements
+// depending on each risk of that kind — the raw data behind the paper's
+// Figure 3 CDFs.
+func (m *Model) DependencyHistogram() map[object.Kind][]int {
+	out := make(map[object.Kind][]int)
+	for i := range m.risks {
+		ref := m.risks[i].ref
+		out[ref.Kind] = append(out[ref.Kind], len(m.risks[i].elements))
+	}
+	for kind := range out {
+		sort.Ints(out[kind])
+	}
+	return out
+}
+
+// ResetFailures clears every failed-edge mark, returning the model to its
+// pristine (pre-augmentation) state. Experiment harnesses reuse one model
+// across many fault scenarios this way instead of rebuilding it.
+func (m *Model) ResetFailures() {
+	for i := range m.elements {
+		m.elements[i].failed = nil
+	}
+	m.failed = 0
+}
+
+// String summarizes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("risk model %q: %d elements, %d risks, %d edges (%d failed)",
+		m.name, len(m.elements), len(m.risks), m.edges, m.failed)
+}
+
+// Clone returns a deep copy of the model (used by destructive algorithms
+// that prune elements).
+func (m *Model) Clone() *Model {
+	out := &Model{
+		name:     m.name,
+		elements: make([]elementData, len(m.elements)),
+		byLabel:  make(map[string]ElementID, len(m.byLabel)),
+		risks:    make([]riskData, len(m.risks)),
+		byRef:    make(map[object.Ref]RiskID, len(m.byRef)),
+		edges:    m.edges,
+		failed:   m.failed,
+	}
+	for i, e := range m.elements {
+		ne := elementData{label: e.label, risks: append([]RiskID(nil), e.risks...)}
+		if e.failed != nil {
+			ne.failed = make(map[RiskID]struct{}, len(e.failed))
+			for r := range e.failed {
+				ne.failed[r] = struct{}{}
+			}
+		}
+		out.elements[i] = ne
+	}
+	for label, id := range m.byLabel {
+		out.byLabel[label] = id
+	}
+	for i, r := range m.risks {
+		out.risks[i] = riskData{ref: r.ref, elements: append([]ElementID(nil), r.elements...)}
+	}
+	for ref, id := range m.byRef {
+		out.byRef[ref] = id
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package rule defines the low-level access-control rule representation
+// shared by the policy compiler (L-type logical rules) and the TCAM
+// simulator (T-type deployed rules).
+//
+// A rule matches traffic on (VRF, source EPG, destination EPG, IP protocol,
+// destination port range) — the same 5 fields the paper's Figure 2 shows for
+// Nexus TCAM ACL entries — and carries an Allow/Deny action. Each rule also
+// records its provenance: the set of policy objects whose (mis)deployment
+// it depends on. Provenance drives the risk-model augmentation step.
+package rule
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scout/internal/object"
+)
+
+// Action is the disposition a rule applies to matching traffic.
+type Action int
+
+// Rule actions. Values start at 1 so the zero Action is invalid.
+const (
+	Allow Action = iota + 1
+	Deny
+)
+
+// String returns "allow" or "deny".
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	default:
+		return "action(" + strconv.Itoa(int(a)) + ")"
+	}
+}
+
+// Protocol is an IP protocol number. ProtoAny matches every protocol.
+type Protocol uint8
+
+// Common protocol numbers.
+const (
+	ProtoAny  Protocol = 0
+	ProtoICMP Protocol = 1
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+// String returns a symbolic protocol name where one exists.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoAny:
+		return "any"
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return strconv.Itoa(int(p))
+	}
+}
+
+// PortMax is the maximum value of a transport port.
+const PortMax = 65535
+
+// Match is the matching half of a rule: the traffic slice it applies to.
+// EPG and VRF identifiers of 0 combined with Wildcard* flags express the
+// catch-all fields of a default-deny rule.
+type Match struct {
+	VRF         object.ID `json:"vrf"`
+	SrcEPG      object.ID `json:"srcEPG"`
+	DstEPG      object.ID `json:"dstEPG"`
+	Proto       Protocol  `json:"proto"`
+	PortLo      uint16    `json:"portLo"`
+	PortHi      uint16    `json:"portHi"`
+	WildcardVRF bool      `json:"wildcardVRF,omitempty"`
+	WildcardSrc bool      `json:"wildcardSrc,omitempty"`
+	WildcardDst bool      `json:"wildcardDst,omitempty"`
+}
+
+// AnyPort reports whether the match covers the full port range.
+func (m Match) AnyPort() bool { return m.PortLo == 0 && m.PortHi == PortMax }
+
+// Covers reports whether m matches the concrete packet 5-tuple
+// (vrf, src, dst, proto, port).
+func (m Match) Covers(vrf, src, dst object.ID, proto Protocol, port uint16) bool {
+	if !m.WildcardVRF && m.VRF != vrf {
+		return false
+	}
+	if !m.WildcardSrc && m.SrcEPG != src {
+		return false
+	}
+	if !m.WildcardDst && m.DstEPG != dst {
+		return false
+	}
+	if m.Proto != ProtoAny && m.Proto != proto {
+		return false
+	}
+	return m.PortLo <= port && port <= m.PortHi
+}
+
+// String renders the match like "vrf=101 src=3 dst=4 tcp 80-80".
+func (m Match) String() string {
+	var b strings.Builder
+	field := func(name string, wild bool, id object.ID) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		if wild {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(strconv.FormatUint(uint64(id), 10))
+		}
+		b.WriteByte(' ')
+	}
+	field("vrf", m.WildcardVRF, m.VRF)
+	field("src", m.WildcardSrc, m.SrcEPG)
+	field("dst", m.WildcardDst, m.DstEPG)
+	b.WriteString(m.Proto.String())
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(int(m.PortLo)))
+	b.WriteByte('-')
+	b.WriteString(strconv.Itoa(int(m.PortHi)))
+	return b.String()
+}
+
+// Rule is a single prioritized access-control entry.
+type Rule struct {
+	Match    Match  `json:"match"`
+	Action   Action `json:"action"`
+	Priority int    `json:"priority"`
+
+	// Provenance lists the policy objects this rule was derived from:
+	// the VRF, both EPGs, the contract, and the filter. A fault in any of
+	// them can make this rule go missing, so they are this rule's shared
+	// risks. Empty for rules collected from hardware (T-type).
+	Provenance []object.Ref `json:"provenance,omitempty"`
+}
+
+// Key is a canonical, comparable identity for a rule's match+action,
+// ignoring priority and provenance. Two rules with equal Keys enforce the
+// same behaviour, which is what L-T equivalence compares.
+type Key struct {
+	Match  Match
+	Action Action
+}
+
+// Key returns the rule's canonical identity.
+func (r Rule) Key() Key { return Key{Match: r.Match, Action: r.Action} }
+
+// String renders the rule for logs and test failures.
+func (r Rule) String() string {
+	return fmt.Sprintf("[p%d] %s -> %s", r.Priority, r.Match.String(), r.Action)
+}
+
+// HasProvenance reports whether ref appears in the rule's provenance.
+func (r Rule) HasProvenance(ref object.Ref) bool {
+	for _, p := range r.Provenance {
+		if p == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the rule (provenance slice copied).
+func (r Rule) Clone() Rule {
+	out := r
+	if r.Provenance != nil {
+		out.Provenance = make([]object.Ref, len(r.Provenance))
+		copy(out.Provenance, r.Provenance)
+	}
+	return out
+}
+
+// DefaultDeny returns the catch-all whitelist tail rule ("*,*,*,* -> deny")
+// with the lowest priority.
+func DefaultDeny() Rule {
+	return Rule{
+		Match: Match{
+			WildcardVRF: true,
+			WildcardSrc: true,
+			WildcardDst: true,
+			Proto:       ProtoAny,
+			PortLo:      0,
+			PortHi:      PortMax,
+		},
+		Action:   Deny,
+		Priority: 0,
+	}
+}
+
+// IsDefaultDeny reports whether r is a catch-all deny rule.
+func (r Rule) IsDefaultDeny() bool {
+	m := r.Match
+	return r.Action == Deny && m.WildcardVRF && m.WildcardSrc && m.WildcardDst &&
+		m.Proto == ProtoAny && m.PortLo == 0 && m.PortHi == PortMax
+}
+
+// Sort orders rules deterministically: descending priority first (match
+// order), then by match fields. It sorts in place.
+func Sort(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool { return less(rules[i], rules[j]) })
+}
+
+func less(a, b Rule) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	am, bm := a.Match, b.Match
+	if am.VRF != bm.VRF {
+		return am.VRF < bm.VRF
+	}
+	if am.SrcEPG != bm.SrcEPG {
+		return am.SrcEPG < bm.SrcEPG
+	}
+	if am.DstEPG != bm.DstEPG {
+		return am.DstEPG < bm.DstEPG
+	}
+	if am.Proto != bm.Proto {
+		return am.Proto < bm.Proto
+	}
+	if am.PortLo != bm.PortLo {
+		return am.PortLo < bm.PortLo
+	}
+	if am.PortHi != bm.PortHi {
+		return am.PortHi < bm.PortHi
+	}
+	return a.Action < b.Action
+}
+
+// Dedupe removes rules with duplicate Keys, keeping the first (highest
+// priority after Sort). The input must already be sorted with Sort.
+func Dedupe(rules []Rule) []Rule {
+	if len(rules) == 0 {
+		return rules
+	}
+	seen := make(map[Key]struct{}, len(rules))
+	out := rules[:0]
+	for _, r := range rules {
+		k := r.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// KeySet builds a set of rule Keys from the given rules.
+func KeySet(rules []Rule) map[Key]struct{} {
+	s := make(map[Key]struct{}, len(rules))
+	for _, r := range rules {
+		s[r.Key()] = struct{}{}
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package rule
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scout/internal/object"
+)
+
+func TestActionString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Error("action names wrong")
+	}
+	if !strings.Contains(Action(9).String(), "9") {
+		t.Error("unknown action should include numeric value")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	tests := []struct {
+		p    Protocol
+		want string
+	}{
+		{ProtoAny, "any"}, {ProtoICMP, "icmp"}, {ProtoTCP, "tcp"}, {ProtoUDP, "udp"}, {Protocol(89), "89"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Protocol(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestMatchCovers(t *testing.T) {
+	m := Match{VRF: 101, SrcEPG: 1, DstEPG: 2, Proto: ProtoTCP, PortLo: 80, PortHi: 90}
+	tests := []struct {
+		name  string
+		vrf   object.ID
+		src   object.ID
+		dst   object.ID
+		proto Protocol
+		port  uint16
+		want  bool
+	}{
+		{"exact", 101, 1, 2, ProtoTCP, 80, true},
+		{"port-in-range", 101, 1, 2, ProtoTCP, 85, true},
+		{"port-hi-edge", 101, 1, 2, ProtoTCP, 90, true},
+		{"port-below", 101, 1, 2, ProtoTCP, 79, false},
+		{"port-above", 101, 1, 2, ProtoTCP, 91, false},
+		{"wrong-vrf", 102, 1, 2, ProtoTCP, 80, false},
+		{"wrong-src", 101, 9, 2, ProtoTCP, 80, false},
+		{"wrong-dst", 101, 1, 9, ProtoTCP, 80, false},
+		{"wrong-proto", 101, 1, 2, ProtoUDP, 80, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Covers(tt.vrf, tt.src, tt.dst, tt.proto, tt.port); got != tt.want {
+				t.Errorf("Covers = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatchCoversWildcards(t *testing.T) {
+	m := DefaultDeny().Match
+	if !m.Covers(1, 2, 3, ProtoTCP, 80) || !m.Covers(0, 0, 0, ProtoICMP, 0) {
+		t.Error("default deny must cover everything")
+	}
+	// ProtoAny in match covers any protocol.
+	m2 := Match{VRF: 1, SrcEPG: 1, DstEPG: 1, Proto: ProtoAny, PortLo: 0, PortHi: PortMax}
+	if !m2.Covers(1, 1, 1, ProtoUDP, 9999) {
+		t.Error("ProtoAny should match udp")
+	}
+}
+
+func TestDefaultDenyIsDefaultDeny(t *testing.T) {
+	if !DefaultDeny().IsDefaultDeny() {
+		t.Error("DefaultDeny() must satisfy IsDefaultDeny")
+	}
+	r := Rule{Match: Match{VRF: 1, Proto: ProtoAny, PortHi: PortMax}, Action: Deny}
+	if r.IsDefaultDeny() {
+		t.Error("non-wildcard deny is not a default deny")
+	}
+	allowAll := DefaultDeny()
+	allowAll.Action = Allow
+	if allowAll.IsDefaultDeny() {
+		t.Error("allow-all is not a default deny")
+	}
+}
+
+func TestRuleKeyIgnoresPriorityAndProvenance(t *testing.T) {
+	a := Rule{Match: Match{VRF: 1, SrcEPG: 2, DstEPG: 3, Proto: ProtoTCP, PortLo: 80, PortHi: 80}, Action: Allow, Priority: 10,
+		Provenance: []object.Ref{object.VRF(1)}}
+	b := a.Clone()
+	b.Priority = 99
+	b.Provenance = nil
+	if a.Key() != b.Key() {
+		t.Error("Key must ignore priority and provenance")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := Rule{Match: Match{VRF: 1}, Action: Allow, Provenance: []object.Ref{object.VRF(1), object.EPG(2)}}
+	cp := orig.Clone()
+	cp.Provenance[0] = object.Filter(9)
+	if orig.Provenance[0] != object.VRF(1) {
+		t.Error("Clone shares provenance backing array")
+	}
+}
+
+func TestHasProvenance(t *testing.T) {
+	r := Rule{Provenance: []object.Ref{object.VRF(1), object.Filter(5)}}
+	if !r.HasProvenance(object.Filter(5)) {
+		t.Error("should find filter:5")
+	}
+	if r.HasProvenance(object.Filter(6)) {
+		t.Error("should not find filter:6")
+	}
+}
+
+func TestSortOrdersByPriorityThenFields(t *testing.T) {
+	rules := []Rule{
+		{Match: Match{VRF: 2}, Action: Allow, Priority: 10},
+		{Match: Match{VRF: 1}, Action: Allow, Priority: 10},
+		DefaultDeny(), // priority 0 → last
+		{Match: Match{VRF: 1, SrcEPG: 5}, Action: Allow, Priority: 20},
+	}
+	Sort(rules)
+	if rules[0].Priority != 20 {
+		t.Errorf("highest priority first, got %v", rules[0])
+	}
+	if !rules[len(rules)-1].IsDefaultDeny() {
+		t.Errorf("default deny last, got %v", rules[len(rules)-1])
+	}
+	if rules[1].Match.VRF != 1 || rules[2].Match.VRF != 2 {
+		t.Error("ties broken by match fields ascending")
+	}
+}
+
+func TestSortDeterministicQuick(t *testing.T) {
+	gen := func(seed int64) []Rule {
+		rng := rand.New(rand.NewSource(seed))
+		rules := make([]Rule, 30)
+		for i := range rules {
+			rules[i] = Rule{
+				Match: Match{
+					VRF:    object.ID(rng.Intn(4)),
+					SrcEPG: object.ID(rng.Intn(4)),
+					DstEPG: object.ID(rng.Intn(4)),
+					Proto:  Protocol(rng.Intn(3) * 6),
+					PortLo: uint16(rng.Intn(100)),
+					PortHi: uint16(100 + rng.Intn(100)),
+				},
+				Action:   Action(1 + rng.Intn(2)),
+				Priority: rng.Intn(3) * 10,
+			}
+		}
+		return rules
+	}
+	f := func(seed int64) bool {
+		a := gen(seed)
+		b := gen(seed)
+		// Shuffle b differently, sort both: results must be identical.
+		rng := rand.New(rand.NewSource(seed + 1))
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		Sort(a)
+		Sort(b)
+		for i := range a {
+			if a[i].Key() != b[i].Key() || a[i].Priority != b[i].Priority {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedupeKeepsFirst(t *testing.T) {
+	r1 := Rule{Match: Match{VRF: 1}, Action: Allow, Priority: 20}
+	r2 := Rule{Match: Match{VRF: 1}, Action: Allow, Priority: 10} // same key
+	r3 := Rule{Match: Match{VRF: 2}, Action: Allow, Priority: 10}
+	rules := []Rule{r1, r2, r3}
+	Sort(rules)
+	out := Dedupe(rules)
+	if len(out) != 2 {
+		t.Fatalf("Dedupe len = %d, want 2", len(out))
+	}
+	if out[0].Priority != 20 {
+		t.Error("Dedupe must keep the higher-priority duplicate")
+	}
+}
+
+func TestKeySet(t *testing.T) {
+	rules := []Rule{
+		{Match: Match{VRF: 1}, Action: Allow},
+		{Match: Match{VRF: 1}, Action: Allow}, // dup
+		{Match: Match{VRF: 2}, Action: Deny},
+	}
+	s := KeySet(rules)
+	if len(s) != 2 {
+		t.Errorf("KeySet len = %d, want 2", len(s))
+	}
+}
+
+func TestRuleStringHumanReadable(t *testing.T) {
+	r := Rule{Match: Match{VRF: 101, SrcEPG: 1, DstEPG: 2, Proto: ProtoTCP, PortLo: 80, PortHi: 80}, Action: Allow, Priority: 10}
+	s := r.String()
+	for _, want := range []string{"vrf=101", "src=1", "dst=2", "tcp", "80-80", "allow"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	dd := DefaultDeny().String()
+	if !strings.Contains(dd, "vrf=*") || !strings.Contains(dd, "deny") {
+		t.Errorf("default deny String() = %q", dd)
+	}
+}

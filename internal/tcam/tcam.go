@@ -1,0 +1,223 @@
+// Package tcam simulates a switch's ternary content-addressable memory:
+// a fixed-capacity, priority-ordered table of access-control rules.
+//
+// The simulator reproduces the physical failure modes the paper lists in
+// §II-B as sources of network-state inconsistency: insufficient space for
+// new rules (overflow), local rule eviction unknown to the controller, and
+// hardware corruption flipping bits in deployed rules.
+package tcam
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// ErrFull is returned by Install when the TCAM has no free entries.
+var ErrFull = errors.New("tcam: table full")
+
+// DefaultCapacity is the default number of TCAM entries, loosely modeled
+// on ACL TCAM bank sizes of datacenter leaf switches.
+const DefaultCapacity = 4096
+
+// TCAM is a fixed-capacity rule table. It is safe for concurrent use.
+type TCAM struct {
+	mu       sync.RWMutex
+	capacity int
+	rules    []rule.Rule // kept sorted: priority desc, then insertion order
+	inserted int         // monotonically increasing insertion stamp
+	stamps   []int       // parallel to rules
+}
+
+// New creates a TCAM with the given capacity. Capacity <= 0 selects
+// DefaultCapacity.
+func New(capacity int) *TCAM {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &TCAM{capacity: capacity}
+}
+
+// Capacity returns the table capacity in entries.
+func (t *TCAM) Capacity() int { return t.capacity }
+
+// Len returns the number of installed entries.
+func (t *TCAM) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// Utilization returns the fraction of capacity in use (0..1).
+func (t *TCAM) Utilization() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return float64(len(t.rules)) / float64(t.capacity)
+}
+
+// Install adds a rule to the table. Installing a rule whose Key already
+// exists is idempotent. Returns ErrFull when the table is at capacity.
+func (t *TCAM) Install(r rule.Rule) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, existing := range t.rules {
+		if existing.Key() == r.Key() {
+			return nil
+		}
+	}
+	if len(t.rules) >= t.capacity {
+		return fmt.Errorf("install %s: %w", r, ErrFull)
+	}
+	t.inserted++
+	t.rules = append(t.rules, r.Clone())
+	t.stamps = append(t.stamps, t.inserted)
+	t.sortLocked()
+	return nil
+}
+
+// Remove deletes the entry with the given key. It reports whether an entry
+// was removed.
+func (t *TCAM) Remove(k rule.Key) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rules {
+		if r.Key() == k {
+			t.deleteAtLocked(i)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear removes every entry.
+func (t *TCAM) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = nil
+	t.stamps = nil
+}
+
+// Rules returns a snapshot of the installed rules in match order.
+func (t *TCAM) Rules() []rule.Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]rule.Rule, len(t.rules))
+	for i, r := range t.rules {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Keys returns the set of installed rule keys.
+func (t *TCAM) Keys() map[rule.Key]struct{} {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return rule.KeySet(t.rules)
+}
+
+// Classify returns the action of the first (highest-priority) rule matching
+// the packet tuple, and whether any rule matched.
+func (t *TCAM) Classify(vrf, src, dst object.ID, proto rule.Protocol, port uint16) (rule.Action, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if r.Match.Covers(vrf, src, dst, proto, port) {
+			return r.Action, true
+		}
+	}
+	return 0, false
+}
+
+// EvictRandom removes up to n random entries (a local eviction mechanism
+// the controller is unaware of, §II-B). It returns the evicted rules.
+func (t *TCAM) EvictRandom(n int, rng *rand.Rand) []rule.Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var evicted []rule.Rule
+	for i := 0; i < n && len(t.rules) > 0; i++ {
+		idx := rng.Intn(len(t.rules))
+		evicted = append(evicted, t.rules[idx])
+		t.deleteAtLocked(idx)
+	}
+	return evicted
+}
+
+// CorruptionField selects which match field a corruption event flips.
+type CorruptionField int
+
+// Fields that TCAM corruption can damage.
+const (
+	CorruptVRF CorruptionField = iota + 1
+	CorruptSrcEPG
+	CorruptDstEPG
+	CorruptPort
+)
+
+// Corrupt flips a bit in the selected field of up to n random entries,
+// simulating TCAM bit errors (§II-B, [14]). The rules remain installed but
+// no longer enforce the intended behaviour — their keys change, so the
+// intended rules appear missing to the equivalence checker. It returns the
+// keys of the rules that were corrupted (their pre-corruption identities).
+func (t *TCAM) Corrupt(n int, field CorruptionField, rng *rand.Rand) []rule.Key {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var damaged []rule.Key
+	for i := 0; i < n && len(t.rules) > 0; i++ {
+		idx := rng.Intn(len(t.rules))
+		r := &t.rules[idx]
+		if r.IsDefaultDeny() {
+			continue
+		}
+		damaged = append(damaged, r.Key())
+		bit := uint32(1) << uint(rng.Intn(16))
+		switch field {
+		case CorruptVRF:
+			r.Match.VRF ^= object.ID(bit)
+		case CorruptSrcEPG:
+			r.Match.SrcEPG ^= object.ID(bit)
+		case CorruptDstEPG:
+			r.Match.DstEPG ^= object.ID(bit)
+		case CorruptPort:
+			r.Match.PortLo ^= uint16(bit)
+			if r.Match.PortLo > r.Match.PortHi {
+				r.Match.PortLo, r.Match.PortHi = r.Match.PortHi, r.Match.PortLo
+			}
+		}
+	}
+	return damaged
+}
+
+func (t *TCAM) deleteAtLocked(i int) {
+	t.rules = append(t.rules[:i], t.rules[i+1:]...)
+	t.stamps = append(t.stamps[:i], t.stamps[i+1:]...)
+}
+
+// sortLocked restores match order: priority descending, then insertion
+// order (older entries first), matching hardware behaviour where entry
+// position within a priority band follows programming order.
+func (t *TCAM) sortLocked() {
+	idx := make([]int, len(t.rules))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := t.rules[idx[a]], t.rules[idx[b]]
+		if ra.Priority != rb.Priority {
+			return ra.Priority > rb.Priority
+		}
+		return t.stamps[idx[a]] < t.stamps[idx[b]]
+	})
+	newRules := make([]rule.Rule, len(t.rules))
+	newStamps := make([]int, len(t.stamps))
+	for i, j := range idx {
+		newRules[i] = t.rules[j]
+		newStamps[i] = t.stamps[j]
+	}
+	t.rules = newRules
+	t.stamps = newStamps
+}

@@ -1,0 +1,70 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+func populated(b *testing.B, n int) *TCAM {
+	b.Helper()
+	tc := New(n + 1)
+	for i := 0; i < n; i++ {
+		r := mkRule(object.ID(i%8), object.ID(i%16), object.ID(i%32), uint16(i), 10)
+		if err := tc.Install(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tc
+}
+
+// BenchmarkInstall measures rule installation including priority resort.
+func BenchmarkInstall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tc := New(1024)
+		b.StartTimer()
+		for p := 0; p < 512; p++ {
+			r := mkRule(1, 2, 3, uint16(p), p%4*10)
+			if err := tc.Install(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClassify measures first-match lookup in a half-full table.
+func BenchmarkClassify(b *testing.B) {
+	tc := populated(b, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Classify(object.ID(i%8), object.ID(i%16), object.ID(i%32), rule.ProtoTCP, uint16(i%2048))
+	}
+}
+
+// BenchmarkSnapshot measures full-table collection (the T-type dump the
+// checker consumes).
+func BenchmarkSnapshot(b *testing.B) {
+	tc := populated(b, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rules := tc.Rules(); len(rules) != 2048 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+// BenchmarkCorrupt measures fault injection.
+func BenchmarkCorrupt(b *testing.B) {
+	tc := populated(b, 2048)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Corrupt(8, CorruptVRF, rng)
+	}
+}

@@ -1,0 +1,290 @@
+package tcam
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+func mkRule(vrf, src, dst object.ID, port uint16, prio int) rule.Rule {
+	return rule.Rule{
+		Match: rule.Match{
+			VRF: vrf, SrcEPG: src, DstEPG: dst,
+			Proto: rule.ProtoTCP, PortLo: port, PortHi: port,
+		},
+		Action:   rule.Allow,
+		Priority: prio,
+	}
+}
+
+func TestInstallAndLen(t *testing.T) {
+	tc := New(10)
+	if tc.Capacity() != 10 || tc.Len() != 0 {
+		t.Fatalf("fresh tcam: cap=%d len=%d", tc.Capacity(), tc.Len())
+	}
+	if err := tc.Install(mkRule(1, 2, 3, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 1 {
+		t.Errorf("Len = %d", tc.Len())
+	}
+	// Idempotent for identical keys.
+	if err := tc.Install(mkRule(1, 2, 3, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 1 {
+		t.Errorf("duplicate install must be idempotent, Len = %d", tc.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if New(0).Capacity() != DefaultCapacity || New(-5).Capacity() != DefaultCapacity {
+		t.Error("non-positive capacity must select the default")
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	tc := New(2)
+	if err := tc.Install(mkRule(1, 1, 1, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Install(mkRule(1, 1, 1, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	err := tc.Install(mkRule(1, 1, 1, 3, 10))
+	if !errors.Is(err, ErrFull) {
+		t.Errorf("overflow error = %v, want ErrFull", err)
+	}
+	if tc.Utilization() != 1.0 {
+		t.Errorf("Utilization = %v, want 1", tc.Utilization())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tc := New(4)
+	r := mkRule(1, 2, 3, 80, 10)
+	if err := tc.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Remove(r.Key()) {
+		t.Error("Remove should report success")
+	}
+	if tc.Remove(r.Key()) {
+		t.Error("second Remove should report failure")
+	}
+	if tc.Len() != 0 {
+		t.Errorf("Len after remove = %d", tc.Len())
+	}
+}
+
+func TestClearAndKeys(t *testing.T) {
+	tc := New(4)
+	for p := uint16(1); p <= 3; p++ {
+		if err := tc.Install(mkRule(1, 2, 3, p, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tc.Keys()) != 3 {
+		t.Errorf("Keys = %d", len(tc.Keys()))
+	}
+	tc.Clear()
+	if tc.Len() != 0 || len(tc.Keys()) != 0 {
+		t.Error("Clear must empty the table")
+	}
+}
+
+func TestClassifyFirstMatchWins(t *testing.T) {
+	tc := New(8)
+	deny := mkRule(1, 2, 3, 80, 20)
+	deny.Action = rule.Deny
+	if err := tc.Install(deny); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Install(mkRule(1, 2, 3, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	action, matched := tc.Classify(1, 2, 3, rule.ProtoTCP, 80)
+	if !matched || action != rule.Deny {
+		t.Errorf("Classify = %v,%v; want deny (higher priority first)", action, matched)
+	}
+	if _, matched := tc.Classify(9, 9, 9, rule.ProtoTCP, 80); matched {
+		t.Error("no rule should match unrelated traffic")
+	}
+}
+
+func TestClassifyInsertionOrderWithinPriority(t *testing.T) {
+	tc := New(8)
+	first := mkRule(1, 2, 3, 80, 10)
+	second := mkRule(1, 2, 3, 80, 10)
+	second.Match.PortHi = 90 // different key, also covers port 80
+	second.Action = rule.Deny
+	if err := tc.Install(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Install(second); err != nil {
+		t.Fatal(err)
+	}
+	action, _ := tc.Classify(1, 2, 3, rule.ProtoTCP, 80)
+	if action != rule.Allow {
+		t.Error("within a priority band, earlier-programmed entry wins")
+	}
+}
+
+// TestClassifyMatchesLinearOracle cross-checks Classify against a direct
+// scan over the Rules() snapshot.
+func TestClassifyMatchesLinearOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tc := New(64)
+		for i := 0; i < 30; i++ {
+			r := mkRule(
+				object.ID(rng.Intn(3)), object.ID(rng.Intn(4)), object.ID(rng.Intn(4)),
+				uint16(rng.Intn(64)), rng.Intn(3)*10)
+			r.Match.PortHi = r.Match.PortLo + uint16(rng.Intn(16))
+			if rng.Intn(2) == 0 {
+				r.Action = rule.Deny
+			}
+			_ = tc.Install(r)
+		}
+		snapshot := tc.Rules()
+		for probe := 0; probe < 50; probe++ {
+			vrf := object.ID(rng.Intn(3))
+			src := object.ID(rng.Intn(4))
+			dst := object.ID(rng.Intn(4))
+			port := uint16(rng.Intn(96))
+			gotAction, gotMatch := tc.Classify(vrf, src, dst, rule.ProtoTCP, port)
+			var wantAction rule.Action
+			wantMatch := false
+			for _, r := range snapshot {
+				if r.Match.Covers(vrf, src, dst, rule.ProtoTCP, port) {
+					wantAction, wantMatch = r.Action, true
+					break
+				}
+			}
+			if gotMatch != wantMatch || (wantMatch && gotAction != wantAction) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictRandom(t *testing.T) {
+	tc := New(16)
+	for p := uint16(1); p <= 10; p++ {
+		if err := tc.Install(mkRule(1, 2, 3, p, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	evicted := tc.EvictRandom(4, rng)
+	if len(evicted) != 4 || tc.Len() != 6 {
+		t.Errorf("evicted=%d len=%d", len(evicted), tc.Len())
+	}
+	// Evicting more than present drains the table without error.
+	evicted = tc.EvictRandom(100, rng)
+	if len(evicted) != 6 || tc.Len() != 0 {
+		t.Errorf("drain: evicted=%d len=%d", len(evicted), tc.Len())
+	}
+}
+
+func TestCorruptChangesKeysButNotLen(t *testing.T) {
+	tc := New(16)
+	for p := uint16(1); p <= 5; p++ {
+		if err := tc.Install(mkRule(1, 2, 3, p, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tc.Keys()
+	rng := rand.New(rand.NewSource(3))
+	damaged := tc.Corrupt(3, CorruptVRF, rng)
+	if len(damaged) == 0 {
+		t.Fatal("corruption should damage entries")
+	}
+	if tc.Len() != 5 {
+		t.Errorf("corruption must not change entry count, Len=%d", tc.Len())
+	}
+	after := tc.Keys()
+	changed := 0
+	for k := range before {
+		if _, still := after[k]; !still {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("corrupted entries must have different keys")
+	}
+	// Damaged keys are the pre-corruption identities.
+	for _, k := range damaged {
+		if _, was := before[k]; !was {
+			t.Errorf("damaged key %v was not present before corruption", k)
+		}
+	}
+}
+
+func TestCorruptSkipsDefaultDeny(t *testing.T) {
+	tc := New(4)
+	if err := tc.Install(rule.DefaultDeny()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if damaged := tc.Corrupt(10, CorruptVRF, rng); len(damaged) != 0 {
+		t.Error("default deny must never be corrupted")
+	}
+}
+
+func TestCorruptPortKeepsRangeValid(t *testing.T) {
+	tc := New(8)
+	r := mkRule(1, 2, 3, 80, 10)
+	if err := tc.Install(r); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		tc.Corrupt(1, CorruptPort, rng)
+		for _, got := range tc.Rules() {
+			if got.Match.PortLo > got.Match.PortHi {
+				t.Fatalf("corruption produced inverted range: %v", got.Match)
+			}
+		}
+	}
+}
+
+func TestRulesSnapshotIsACopy(t *testing.T) {
+	tc := New(4)
+	if err := tc.Install(mkRule(1, 2, 3, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	snap := tc.Rules()
+	snap[0].Match.VRF = 999
+	action, matched := tc.Classify(1, 2, 3, rule.ProtoTCP, 80)
+	if !matched || action != rule.Allow {
+		t.Error("mutating the snapshot must not affect the table")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tc := New(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := uint16(0); p < 200; p++ {
+			_ = tc.Install(mkRule(1, 2, 3, p, 10))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		tc.Classify(1, 2, 3, rule.ProtoTCP, uint16(i))
+		tc.Len()
+	}
+	<-done
+	if tc.Len() != 200 {
+		t.Errorf("Len = %d, want 200", tc.Len())
+	}
+}

@@ -1,0 +1,212 @@
+// Fault scenario generation and risk-model-level fault application.
+//
+// The paper's simulation setup (§VI-A) injects two fault types with equal
+// weight: full object faults (every TCAM rule derived from the object goes
+// missing) and partial object faults (only a subset goes missing — the
+// regime where SCORE's fixed hit-ratio threshold fails and SCOUT's
+// change-log stage recovers accuracy). Scenarios apply faults directly at
+// the risk-model level, which is exactly the information the equivalence
+// checker would produce, without paying for per-rule TCAM and BDD work in
+// large simulations.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scout/internal/compile"
+	"scout/internal/object"
+	"scout/internal/risk"
+	"scout/internal/rule"
+)
+
+// Instance is one deployed logical rule: a rule key serving an EPG pair on
+// a switch.
+type Instance struct {
+	SP  compile.SwitchPair
+	Key rule.Key
+}
+
+// DepIndex maps every policy object to the deployed rule instances whose
+// provenance contains it.
+type DepIndex struct {
+	byObject map[object.Ref][]Instance
+	d        *compile.Deployment
+}
+
+// BuildIndex constructs the object → instances index for a deployment.
+func BuildIndex(d *compile.Deployment) *DepIndex {
+	idx := &DepIndex{byObject: make(map[object.Ref][]Instance), d: d}
+	for sp, keys := range d.PairRules {
+		for _, k := range keys {
+			inst := Instance{SP: sp, Key: k}
+			for _, ref := range d.Provenance[k] {
+				idx.byObject[ref] = append(idx.byObject[ref], inst)
+			}
+		}
+	}
+	return idx
+}
+
+// Objects returns all policy objects with at least one deployed rule,
+// sorted.
+func (idx *DepIndex) Objects() []object.Ref {
+	out := make([]object.Ref, 0, len(idx.byObject))
+	for ref := range idx.byObject {
+		out = append(out, ref)
+	}
+	object.SortRefs(out)
+	return out
+}
+
+// Instances returns the deployed rule instances depending on ref.
+func (idx *DepIndex) Instances(ref object.Ref) []Instance { return idx.byObject[ref] }
+
+// ObjectsOnSwitch returns the policy objects with at least one rule
+// instance deployed on switch sw, sorted.
+func (idx *DepIndex) ObjectsOnSwitch(sw object.ID) []object.Ref {
+	set := make(object.Set)
+	for ref, instances := range idx.byObject {
+		for _, in := range instances {
+			if in.SP.Switch == sw {
+				set.Add(ref)
+				break
+			}
+		}
+	}
+	return set.Sorted()
+}
+
+// Fault is one injected object fault. Fraction 1 is a full object fault;
+// less than 1 a partial object fault.
+type Fault struct {
+	Ref      object.Ref
+	Fraction float64
+}
+
+// IsFull reports whether the fault removes every dependent rule.
+func (f Fault) IsFull() bool { return f.Fraction >= 1 }
+
+// String renders the fault for logs.
+func (f Fault) String() string {
+	if f.IsFull() {
+		return fmt.Sprintf("full(%s)", f.Ref)
+	}
+	return fmt.Sprintf("partial(%s,%.2f)", f.Ref, f.Fraction)
+}
+
+// Scenario is a reproducible multi-fault experiment input.
+type Scenario struct {
+	// Faults are the injected object faults.
+	Faults []Fault
+	// GroundTruth is the set G of truly faulty objects.
+	GroundTruth []object.Ref
+	// Changed simulates the controller change log: it contains every
+	// faulty object (the paper's evaluation ties faults to recent
+	// configuration actions) plus noise entries for healthy objects.
+	Changed object.Set
+}
+
+// NewScenario samples n distinct object faults from the candidate set
+// (full/partial with equal weight, per §VI-A) plus noiseCount healthy
+// recently-changed objects.
+func NewScenario(rng *rand.Rand, candidates []object.Ref, n, noiseCount int) (Scenario, error) {
+	if n > len(candidates) {
+		return Scenario{}, fmt.Errorf("workload: want %d faults but only %d candidate objects", n, len(candidates))
+	}
+	perm := rng.Perm(len(candidates))
+	sc := Scenario{Changed: make(object.Set)}
+	for i := 0; i < n; i++ {
+		ref := candidates[perm[i]]
+		f := Fault{Ref: ref, Fraction: 1}
+		if rng.Intn(2) == 0 {
+			f.Fraction = 0.1 + 0.8*rng.Float64()
+		}
+		sc.Faults = append(sc.Faults, f)
+		sc.GroundTruth = append(sc.GroundTruth, ref)
+		sc.Changed.Add(ref)
+	}
+	for i := n; i < len(perm) && i < n+noiseCount; i++ {
+		sc.Changed.Add(candidates[perm[i]])
+	}
+	object.SortRefs(sc.GroundTruth)
+	return sc, nil
+}
+
+// ApplyToControllerModel injects the scenario's faults into a controller
+// risk model built from deployment d: for every selected rule instance the
+// (switch, pair) triplet's edges to all of the rule's provenance objects
+// are marked fail (and to the switch risk when modeled), mirroring what
+// AugmentControllerModel would do with the checker's missing rules. It
+// returns the number of rule instances failed.
+func ApplyToControllerModel(m *risk.Model, d *compile.Deployment, idx *DepIndex, sc Scenario, rng *rand.Rand) int {
+	failed := 0
+	for _, f := range sc.Faults {
+		for _, in := range selectInstances(idx.Instances(f.Ref), f, rng) {
+			el, ok := m.ElementByLabel(in.SP.String())
+			if !ok {
+				continue
+			}
+			for _, ref := range d.Provenance[in.Key] {
+				m.MarkFailed(el, ref)
+			}
+			swRef := object.Switch(in.SP.Switch)
+			if _, modeled := m.RiskByRef(swRef); modeled {
+				m.MarkFailed(el, swRef)
+			}
+			failed++
+		}
+	}
+	return failed
+}
+
+// ApplyToSwitchModel injects the scenario's faults restricted to switch sw
+// into that switch's risk model.
+func ApplyToSwitchModel(m *risk.Model, d *compile.Deployment, idx *DepIndex, sw object.ID, sc Scenario, rng *rand.Rand) int {
+	failed := 0
+	for _, f := range sc.Faults {
+		var local []Instance
+		for _, in := range idx.Instances(f.Ref) {
+			if in.SP.Switch == sw {
+				local = append(local, in)
+			}
+		}
+		for _, in := range selectInstances(local, f, rng) {
+			el, ok := m.ElementByLabel(in.SP.Pair.String())
+			if !ok {
+				continue
+			}
+			for _, ref := range d.Provenance[in.Key] {
+				m.MarkFailed(el, ref)
+			}
+			failed++
+		}
+	}
+	return failed
+}
+
+// selectInstances picks the instances a fault damages: all of them for a
+// full fault, a random non-empty subset for a partial fault.
+func selectInstances(instances []Instance, f Fault, rng *rand.Rand) []Instance {
+	if len(instances) == 0 {
+		return nil
+	}
+	if f.IsFull() {
+		return instances
+	}
+	n := int(float64(len(instances)) * f.Fraction)
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(instances) {
+		n = len(instances) - 1 // partial fault must leave something intact
+		if n < 1 {
+			n = 1
+		}
+	}
+	shuffled := make([]Instance, len(instances))
+	copy(shuffled, instances)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	return shuffled[:n]
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/compile"
+	"scout/internal/risk"
+)
+
+// BenchmarkGenerate measures synthetic policy generation.
+func BenchmarkGenerate(b *testing.B) {
+	spec := smallSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(spec, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildIndex measures the object→instances index build.
+func BenchmarkBuildIndex(b *testing.B) {
+	p, t, err := Generate(smallSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := compile.Compile(p, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := BuildIndex(d); len(idx.Objects()) == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkApplyScenario measures risk-model fault application.
+func BenchmarkApplyScenario(b *testing.B) {
+	p, t, err := Generate(smallSpec(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := compile.Compile(p, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := BuildIndex(d)
+	m := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	rng := rand.New(rand.NewSource(7))
+	sc, err := NewScenario(rng, idx.Objects(), 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ResetFailures()
+		ApplyToControllerModel(m, d, idx, sc, rng)
+	}
+}

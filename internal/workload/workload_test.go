@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/compile"
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// smallSpec is a reduced production-like spec keeping tests fast.
+func smallSpec() Spec {
+	s := ProductionSpec()
+	s.EPGs = 120
+	s.Contracts = 80
+	s.Filters = 40
+	s.TargetPairs = 1200
+	s.Switches = 10
+	return s
+}
+
+func TestGenerateValidPolicy(t *testing.T) {
+	for _, spec := range []Spec{smallSpec(), TestbedSpec()} {
+		p, tp, err := Generate(spec, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: generated policy invalid: %v", spec.Name, err)
+		}
+		if err := tp.Validate(p); err != nil {
+			t.Fatalf("%s: topology invalid: %v", spec.Name, err)
+		}
+		st := p.Stats()
+		if st.VRFs != spec.VRFs || st.EPGs != spec.EPGs || st.Contracts != spec.Contracts || st.Filters != spec.Filters {
+			t.Errorf("%s: stats %+v do not match spec", spec.Name, st)
+		}
+		if tp.NumSwitches() != spec.Switches {
+			t.Errorf("%s: switches = %d, want %d", spec.Name, tp.NumSwitches(), spec.Switches)
+		}
+		// Pair count should be in the target's ballpark (duplicates are
+		// dropped, so it can land under).
+		if st.EPGPairs < spec.TargetPairs/3 {
+			t.Errorf("%s: pairs = %d, want around %d", spec.Name, st.EPGPairs, spec.TargetPairs)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("same seed must give same stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if len(a.Bindings) != len(b.Bindings) {
+		t.Error("bindings differ across identical seeds")
+	}
+	for i := range a.Bindings {
+		if a.Bindings[i] != b.Bindings[i] {
+			t.Fatalf("binding %d differs", i)
+		}
+	}
+	c, _, err := Generate(smallSpec(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bindings) == len(c.Bindings) && a.Stats() == c.Stats() {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestGenerateRejectsDegenerateSpecs(t *testing.T) {
+	bad := smallSpec()
+	bad.EPGs = 1
+	if _, _, err := Generate(bad, 1); err == nil {
+		t.Error("spec with 1 EPG must be rejected")
+	}
+	bad = smallSpec()
+	bad.VRFs = 0
+	if _, _, err := Generate(bad, 1); err == nil {
+		t.Error("spec with 0 VRFs must be rejected")
+	}
+}
+
+func TestGeneratedSharingIsHeavyTailed(t *testing.T) {
+	// Figure 3 qualitative shape: most filters/contracts serve few pairs;
+	// VRFs serve many; some objects serve orders of magnitude more than
+	// the median.
+	p, tp, err := Generate(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compile.Compile(p, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairsPer := make(map[object.Ref]map[string]struct{})
+	for sp, keys := range d.PairRules {
+		for _, k := range keys {
+			for _, ref := range d.Provenance[k] {
+				set, ok := pairsPer[ref]
+				if !ok {
+					set = make(map[string]struct{})
+					pairsPer[ref] = set
+				}
+				set[sp.Pair.String()] = struct{}{}
+			}
+		}
+	}
+	var vrfMax, contractMax, contractSmall, contractTotal int
+	for ref, pairs := range pairsPer {
+		n := len(pairs)
+		switch ref.Kind {
+		case object.KindVRF:
+			if n > vrfMax {
+				vrfMax = n
+			}
+		case object.KindContract:
+			contractTotal++
+			if n < 10 {
+				contractSmall++
+			}
+			if n > contractMax {
+				contractMax = n
+			}
+		}
+	}
+	if vrfMax < 100 {
+		t.Errorf("largest VRF serves %d pairs, want heavy sharing (>100)", vrfMax)
+	}
+	if contractTotal == 0 || float64(contractSmall)/float64(contractTotal) < 0.5 {
+		t.Errorf("small contracts = %d/%d, want majority <10 pairs", contractSmall, contractTotal)
+	}
+	if contractMax < 20 {
+		t.Errorf("largest contract serves %d pairs, want a heavy tail", contractMax)
+	}
+}
+
+func buildEnv(t *testing.T) (*compile.Deployment, *DepIndex) {
+	t.Helper()
+	p, tp, err := Generate(smallSpec(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compile.Compile(p, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, BuildIndex(d)
+}
+
+func TestBuildIndexCoversDeployment(t *testing.T) {
+	d, idx := buildEnv(t)
+	objs := idx.Objects()
+	if len(objs) == 0 {
+		t.Fatal("index empty")
+	}
+	// Every indexed instance's provenance must contain the index key.
+	for _, ref := range objs[:10] {
+		for _, in := range idx.Instances(ref) {
+			found := false
+			for _, p := range d.Provenance[in.Key] {
+				if p == ref {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("instance %v indexed under %v but provenance lacks it", in, ref)
+			}
+		}
+	}
+}
+
+func TestObjectsOnSwitch(t *testing.T) {
+	d, idx := buildEnv(t)
+	var anySwitch object.ID
+	for sp := range d.PairRules {
+		anySwitch = sp.Switch
+		break
+	}
+	objs := idx.ObjectsOnSwitch(anySwitch)
+	if len(objs) == 0 {
+		t.Fatal("busy switch should have objects")
+	}
+	for _, ref := range objs {
+		onSwitch := false
+		for _, in := range idx.Instances(ref) {
+			if in.SP.Switch == anySwitch {
+				onSwitch = true
+			}
+		}
+		if !onSwitch {
+			t.Fatalf("%v reported on switch %d but has no instance there", ref, anySwitch)
+		}
+	}
+}
+
+func TestNewScenario(t *testing.T) {
+	_, idx := buildEnv(t)
+	rng := rand.New(rand.NewSource(1))
+	sc, err := NewScenario(rng, idx.Objects(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) != 5 || len(sc.GroundTruth) != 5 {
+		t.Fatalf("faults = %d", len(sc.Faults))
+	}
+	// Ground-truth objects are distinct.
+	if object.NewSet(sc.GroundTruth...).Len() != 5 {
+		t.Error("duplicate ground-truth objects")
+	}
+	// Every faulty object is "recently changed"; noise adds more.
+	for _, ref := range sc.GroundTruth {
+		if !sc.Changed.Has(ref) {
+			t.Errorf("faulty %v missing from change set", ref)
+		}
+	}
+	if sc.Changed.Len() != 8 {
+		t.Errorf("changed = %d, want 5+3", sc.Changed.Len())
+	}
+	// Fractions are sane.
+	for _, f := range sc.Faults {
+		if f.Fraction <= 0 || f.Fraction > 1 {
+			t.Errorf("fraction %v out of range", f.Fraction)
+		}
+	}
+	if _, err := NewScenario(rng, idx.Objects()[:2], 5, 0); err == nil {
+		t.Error("too many faults for candidate set must error")
+	}
+}
+
+func TestScenarioMixesFullAndPartial(t *testing.T) {
+	_, idx := buildEnv(t)
+	rng := rand.New(rand.NewSource(2))
+	full, partial := 0, 0
+	for i := 0; i < 20; i++ {
+		sc, err := NewScenario(rng, idx.Objects(), 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range sc.Faults {
+			if f.IsFull() {
+				full++
+			} else {
+				partial++
+			}
+		}
+	}
+	// Equal weight → both kinds must appear in quantity.
+	if full < 20 || partial < 20 {
+		t.Errorf("full=%d partial=%d, want a rough balance over 100 faults", full, partial)
+	}
+}
+
+func TestApplyToControllerModelFullFault(t *testing.T) {
+	d, idx := buildEnv(t)
+	m := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	// Pick an object with a decent footprint.
+	var target object.Ref
+	for _, ref := range idx.Objects() {
+		if ref.Kind == object.KindFilter && len(idx.Instances(ref)) > 4 {
+			target = ref
+			break
+		}
+	}
+	if target.IsZero() {
+		t.Skip("no suitable filter in workload")
+	}
+	sc := Scenario{Faults: []Fault{{Ref: target, Fraction: 1}}}
+	rng := rand.New(rand.NewSource(3))
+	failed := ApplyToControllerModel(m, d, idx, sc, rng)
+	if failed != len(idx.Instances(target)) {
+		t.Errorf("failed instances = %d, want all %d", failed, len(idx.Instances(target)))
+	}
+	// Full fault ⇒ hit ratio 1 for the target.
+	if got := m.HitRatio(target); got != 1 {
+		t.Errorf("hit ratio = %v, want 1 after full fault", got)
+	}
+}
+
+func TestApplyToControllerModelPartialFault(t *testing.T) {
+	d, idx := buildEnv(t)
+	m := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	var target object.Ref
+	for _, ref := range idx.Objects() {
+		if len(idx.Instances(ref)) >= 10 {
+			target = ref
+			break
+		}
+	}
+	if target.IsZero() {
+		t.Skip("no wide object in workload")
+	}
+	sc := Scenario{Faults: []Fault{{Ref: target, Fraction: 0.3}}}
+	rng := rand.New(rand.NewSource(3))
+	ApplyToControllerModel(m, d, idx, sc, rng)
+	if got := m.HitRatio(target); got >= 1 || got <= 0 {
+		t.Errorf("partial fault hit ratio = %v, want in (0,1)", got)
+	}
+}
+
+func TestApplyToSwitchModel(t *testing.T) {
+	d, idx := buildEnv(t)
+	// Find a switch and an object deployed there.
+	var sw object.ID
+	for sp := range d.PairRules {
+		sw = sp.Switch
+		break
+	}
+	objs := idx.ObjectsOnSwitch(sw)
+	if len(objs) == 0 {
+		t.Skip("empty switch")
+	}
+	m := risk.BuildSwitchModel(d, sw)
+	sc := Scenario{Faults: []Fault{{Ref: objs[0], Fraction: 1}}}
+	rng := rand.New(rand.NewSource(4))
+	failed := ApplyToSwitchModel(m, d, idx, sw, sc, rng)
+	if failed == 0 {
+		t.Fatal("switch-scoped fault must fail instances")
+	}
+	if len(m.FailureSignature()) == 0 {
+		t.Error("model must have observations after injection")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	full := Fault{Ref: object.Filter(1), Fraction: 1}
+	part := Fault{Ref: object.Filter(2), Fraction: 0.25}
+	if full.String() != "full(filter:1)" {
+		t.Errorf("full = %q", full.String())
+	}
+	if part.String() != "partial(filter:2,0.25)" {
+		t.Errorf("partial = %q", part.String())
+	}
+}
+
+func TestTopologyCoversAllSwitches(t *testing.T) {
+	spec := smallSpec()
+	spec.Switches = 50 // more switches than EPG placement may reach
+	_, tp, err := Generate(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumSwitches() != 50 {
+		t.Errorf("switches = %d, want 50 (padding)", tp.NumSwitches())
+	}
+}

@@ -1,0 +1,371 @@
+// Package scout is the public API of the SCOUT reproduction: an
+// end-to-end network-policy fault-localization system after
+// "Fault Localization in Large-Scale Network Policy Deployment"
+// (Tammana et al., ICDCS 2018).
+//
+// The pipeline (paper Figure 6):
+//
+//  1. Collect TCAM rules (T) from every switch and compile logical rules
+//     (L) from the controller's network policy.
+//  2. Run the ROBDD-based L-T equivalence checker per switch; differences
+//     yield missing rules.
+//  3. Build switch and controller risk models and augment them with the
+//     missing rules.
+//  4. Run the SCOUT greedy localization algorithm to produce a hypothesis:
+//     a minimal set of most-likely faulty policy objects.
+//  5. Correlate the hypothesis with controller change logs and device
+//     fault logs to infer physical-level root causes.
+//
+// Typical use:
+//
+//	f, _ := scout.NewFabric(pol, topology, scout.FabricOptions{})
+//	f.Deploy()
+//	// ... faults happen ...
+//	report, _ := scout.NewAnalyzer().Analyze(f)
+//	fmt.Println(report.Summary())
+package scout
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scout/internal/correlate"
+	"scout/internal/equiv"
+	"scout/internal/fabric"
+	"scout/internal/localize"
+	"scout/internal/object"
+	"scout/internal/probe"
+	"scout/internal/risk"
+	"scout/internal/rule"
+)
+
+// AnalyzerOptions tunes the end-to-end analysis.
+type AnalyzerOptions struct {
+	// IncludeSwitchRisk models each switch as a shared risk in the
+	// controller risk model so whole-switch failures are localizable.
+	// Default true.
+	IncludeSwitchRisk *bool
+
+	// ChangeWindow bounds how far back a change-log entry counts as
+	// "recent" for SCOUT's second stage. Default 24h.
+	ChangeWindow time.Duration
+
+	// Signatures overrides the correlation engine's fault signatures;
+	// nil selects the defaults.
+	Signatures []correlate.Signature
+
+	// UseNaiveChecker swaps the BDD equivalence checker for the exact-key
+	// differ (valid only when rule matches never partially overlap; used
+	// by ablation benchmarks).
+	UseNaiveChecker bool
+
+	// UseProbes derives observations from active connectivity probes
+	// against the switch dataplane instead of exhaustive TCAM
+	// verification (§III-C's "allowed to communicate but fail to do so"
+	// observation source). Probing samples the header space, so extra
+	// behaviour from corrupted rules is not reported in this mode.
+	UseProbes bool
+}
+
+// Analyzer runs the SCOUT pipeline against a fabric.
+type Analyzer struct {
+	opts   AnalyzerOptions
+	engine *correlate.Engine
+}
+
+// NewAnalyzer creates an analyzer. The zero AnalyzerOptions give the
+// paper's configuration.
+func NewAnalyzer(opts ...AnalyzerOptions) *Analyzer {
+	var o AnalyzerOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.ChangeWindow <= 0 {
+		o.ChangeWindow = 24 * time.Hour
+	}
+	return &Analyzer{opts: o, engine: correlate.NewEngine(o.Signatures)}
+}
+
+// SwitchReport is the per-switch analysis outcome.
+type SwitchReport struct {
+	Switch object.ID
+	// Equivalent is true when the switch's TCAM matches the policy.
+	Equivalent bool
+	// MissingRules should have been deployed on this switch but are not.
+	MissingRules []rule.Rule
+	// ExtraRules are deployed but allow traffic the policy does not.
+	ExtraRules []rule.Rule
+	// Result is the SCOUT run on this switch's risk model (nil when the
+	// switch is consistent).
+	Result *localize.Result
+}
+
+// Report is the end-to-end analysis output.
+type Report struct {
+	// Consistent is true when every switch's TCAM matches the policy.
+	Consistent bool
+	// TotalMissing counts missing rules across switches.
+	TotalMissing int
+	// Switches holds per-switch reports (only inconsistent switches have
+	// localization results), sorted by switch ID.
+	Switches []SwitchReport
+	// Controller is the SCOUT result on the controller risk model.
+	Controller *localize.Result
+	// Hypothesis is the controller-model hypothesis: the minimal set of
+	// most-likely faulty policy objects (may include switch objects).
+	Hypothesis []object.Ref
+	// RootCauses is the event-correlation outcome for the hypothesis.
+	RootCauses *correlate.Report
+	// Elapsed is the total analysis wall-clock time.
+	Elapsed time.Duration
+}
+
+// State is the raw input of an analysis: the compiled desired state, the
+// collected TCAM snapshots, and the two log streams. Production users
+// populate it from their own controller and devices; Analyze populates
+// it from the simulated fabric.
+type State struct {
+	// Deployment is the compiled desired state (L-type rules).
+	Deployment *Deployment
+	// TCAM maps each switch to its collected rules (T-type).
+	TCAM map[object.ID][]rule.Rule
+	// Changes is the controller change log (may be nil).
+	Changes *ChangeLog
+	// Faults is the device fault log (may be nil).
+	Faults *FaultLog
+	// Now anchors the change-window computation.
+	Now time.Time
+}
+
+// Analyze runs the full pipeline against the fabric's current state.
+func (a *Analyzer) Analyze(f *fabric.Fabric) (*Report, error) {
+	d := f.Deployment()
+	if d == nil {
+		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	if a.opts.UseProbes {
+		return a.analyzeWithProbes(f)
+	}
+	return a.AnalyzeState(State{
+		Deployment: d,
+		TCAM:       f.CollectAll(),
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        f.Now(),
+	})
+}
+
+// analyzeWithProbes runs the probe-based observation source, which needs
+// live dataplane access rather than TCAM dumps.
+func (a *Analyzer) analyzeWithProbes(f *fabric.Fabric) (*Report, error) {
+	start := time.Now()
+	d := f.Deployment()
+	ctrlModel, oracle, rep := a.prepare(d, f.ChangeLog(), f.Now())
+	checker := equiv.NewChecker()
+	for _, sw := range f.Topology().Switches() {
+		checkRep, err := a.checkSwitch(f, checker, sw)
+		if err != nil {
+			return nil, err
+		}
+		a.accumulate(rep, ctrlModel, oracle, d, sw, checkRep)
+	}
+	a.finish(rep, ctrlModel, oracle, f.ChangeLog(), f.FaultLog())
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// AnalyzeState runs the pipeline on raw collected state, independent of
+// the simulator.
+func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
+	start := time.Now()
+	if st.Deployment == nil {
+		return nil, fmt.Errorf("scout: state has no deployment")
+	}
+	changes := st.Changes
+	if changes == nil {
+		changes = &ChangeLog{}
+	}
+	faults := st.Faults
+	if faults == nil {
+		faults = &FaultLog{}
+	}
+	ctrlModel, oracle, rep := a.prepare(st.Deployment, changes, st.Now)
+
+	switches := make([]object.ID, 0, len(st.TCAM))
+	for sw := range st.TCAM {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+
+	checker := equiv.NewChecker()
+	for _, sw := range switches {
+		logical := st.Deployment.RulesFor(sw)
+		var checkRep *equiv.Report
+		if a.opts.UseNaiveChecker {
+			checkRep = equiv.NaiveCheck(logical, st.TCAM[sw])
+		} else {
+			var err error
+			checkRep, err = checker.Check(logical, st.TCAM[sw])
+			if err != nil {
+				return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
+			}
+		}
+		a.accumulate(rep, ctrlModel, oracle, st.Deployment, sw, checkRep)
+	}
+	a.finish(rep, ctrlModel, oracle, changes, faults)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// prepare builds the shared analysis state.
+func (a *Analyzer) prepare(d *Deployment, changes *ChangeLog, now time.Time) (*risk.Model, localize.ChangeLogOracle, *Report) {
+	includeSwitch := true
+	if a.opts.IncludeSwitchRisk != nil {
+		includeSwitch = *a.opts.IncludeSwitchRisk
+	}
+	ctrlModel := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: includeSwitch})
+	oracle := localize.ChangeLogOracle{Log: changes, Since: now.Add(-a.opts.ChangeWindow)}
+	return ctrlModel, oracle, &Report{Consistent: true}
+}
+
+// accumulate folds one switch's check result into the report and the
+// controller model.
+func (a *Analyzer) accumulate(rep *Report, ctrlModel *risk.Model, oracle localize.ChangeLogOracle,
+	d *Deployment, sw object.ID, checkRep *equiv.Report) {
+	sr := SwitchReport{
+		Switch:       sw,
+		Equivalent:   checkRep.Equivalent,
+		MissingRules: checkRep.MissingRules,
+		ExtraRules:   checkRep.ExtraRules,
+	}
+	if !checkRep.Equivalent {
+		rep.Consistent = false
+		rep.TotalMissing += len(checkRep.MissingRules)
+
+		swModel := risk.BuildSwitchModel(d, sw)
+		risk.AugmentSwitchModel(swModel, checkRep.MissingRules, d.Provenance)
+		sr.Result = localize.Scout(swModel, oracle)
+
+		risk.AugmentControllerModel(ctrlModel, sw, checkRep.MissingRules, d.Provenance)
+	}
+	rep.Switches = append(rep.Switches, sr)
+}
+
+// finish runs the global localization and correlation passes.
+func (a *Analyzer) finish(rep *Report, ctrlModel *risk.Model, oracle localize.ChangeLogOracle,
+	changes *ChangeLog, faults *FaultLog) {
+	sort.Slice(rep.Switches, func(i, j int) bool { return rep.Switches[i].Switch < rep.Switches[j].Switch })
+	if !rep.Consistent {
+		rep.Controller = localize.Scout(ctrlModel, oracle)
+		rep.Hypothesis = rep.Controller.Hypothesis
+		rep.RootCauses = a.engine.Correlate(rep.Hypothesis, changes, faults)
+	}
+}
+
+// checkSwitch produces the missing/extra-rule report for one switch using
+// the configured observation source (BDD checker, naive differ, or
+// dataplane probes).
+func (a *Analyzer) checkSwitch(f *fabric.Fabric, checker *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+	d := f.Deployment()
+	if a.opts.UseProbes {
+		s, err := f.Switch(sw)
+		if err != nil {
+			return nil, fmt.Errorf("scout: probe switch %d: %w", sw, err)
+		}
+		violations := probe.New(d).ProbeSwitch(sw, s.TCAM())
+		return &equiv.Report{
+			Equivalent:   len(violations) == 0,
+			MissingRules: probe.MissingRules(violations),
+		}, nil
+	}
+	deployed, err := f.CollectTCAM(sw)
+	if err != nil {
+		return nil, fmt.Errorf("scout: collect switch %d: %w", sw, err)
+	}
+	logical := d.RulesFor(sw)
+	if a.opts.UseNaiveChecker {
+		return equiv.NaiveCheck(logical, deployed), nil
+	}
+	rep, err := checker.Check(logical, deployed)
+	if err != nil {
+		return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
+	}
+	return rep, nil
+}
+
+// AnalyzeSwitch runs the pipeline for a single switch — the event-driven
+// collection mode of §III-C (e.g. triggered by a device fault event). The
+// risk model is the switch risk model, so the hypothesis is scoped to
+// that switch's policy objects.
+func (a *Analyzer) AnalyzeSwitch(f *fabric.Fabric, sw object.ID) (*SwitchReport, error) {
+	d := f.Deployment()
+	if d == nil {
+		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	checkRep, err := a.checkSwitch(f, equiv.NewChecker(), sw)
+	if err != nil {
+		return nil, err
+	}
+	sr := &SwitchReport{
+		Switch:       sw,
+		Equivalent:   checkRep.Equivalent,
+		MissingRules: checkRep.MissingRules,
+		ExtraRules:   checkRep.ExtraRules,
+	}
+	if !checkRep.Equivalent {
+		model := risk.BuildSwitchModel(d, sw)
+		risk.AugmentSwitchModel(model, checkRep.MissingRules, d.Provenance)
+		oracle := localize.ChangeLogOracle{Log: f.ChangeLog(), Since: f.Now().Add(-a.opts.ChangeWindow)}
+		sr.Result = localize.Scout(model, oracle)
+	}
+	return sr, nil
+}
+
+// MarshalJSON serializes the report (for dashboards and tooling).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	return json.Marshal(struct {
+		*alias
+		ElapsedMillis int64 `json:"elapsedMillis"`
+	}{
+		alias:         (*alias)(r),
+		ElapsedMillis: r.Elapsed.Milliseconds(),
+	})
+}
+
+// Summary renders a human-readable digest of the report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	if r.Consistent {
+		b.WriteString("network state consistent: every switch TCAM matches the policy\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "network state INCONSISTENT: %d missing rules across %d switches\n",
+		r.TotalMissing, len(r.inconsistentSwitches()))
+	fmt.Fprintf(&b, "hypothesis (%d faulty objects):\n", len(r.Hypothesis))
+	for _, ref := range r.Hypothesis {
+		fmt.Fprintf(&b, "  - %s\n", ref)
+	}
+	if r.RootCauses != nil && len(r.RootCauses.RootCauses) > 0 {
+		b.WriteString("most likely root causes:\n")
+		for _, rc := range r.RootCauses.RootCauses {
+			fmt.Fprintf(&b, "  - %s (explains %d objects)\n", rc.Description, len(rc.Objects))
+		}
+	} else {
+		b.WriteString("no physical root cause matched (silent fault, e.g. TCAM corruption)\n")
+	}
+	return b.String()
+}
+
+func (r *Report) inconsistentSwitches() []object.ID {
+	var out []object.ID
+	for _, sr := range r.Switches {
+		if !sr.Equivalent {
+			out = append(out, sr.Switch)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package scout_test
+
+import (
+	"strings"
+	"testing"
+
+	"scout"
+)
+
+// threeTier builds the paper's running example (Figure 1): a 3-tier web
+// service with Web, App, and DB EPGs on three switches.
+func threeTier(t testing.TB) (*scout.Policy, *scout.Topology) {
+	t.Helper()
+	p := scout.NewPolicy("three-tier")
+	p.AddVRF(scout.VRF{ID: 101, Name: "vrf-101"})
+	p.AddEPG(scout.EPG{ID: 1, Name: "Web", VRF: 101})
+	p.AddEPG(scout.EPG{ID: 2, Name: "App", VRF: 101})
+	p.AddEPG(scout.EPG{ID: 3, Name: "DB", VRF: 101})
+	p.AddEndpoint(scout.Endpoint{ID: 11, Name: "EP1", EPG: 1, Switch: 1})
+	p.AddEndpoint(scout.Endpoint{ID: 12, Name: "EP2", EPG: 2, Switch: 2})
+	p.AddEndpoint(scout.Endpoint{ID: 13, Name: "EP3", EPG: 3, Switch: 3})
+	p.AddFilter(scout.Filter{ID: 80, Name: "port-80", Entries: []scout.FilterEntry{
+		scout.PortEntry(scout.ProtoTCP, 80),
+	}})
+	p.AddFilter(scout.Filter{ID: 700, Name: "port-700", Entries: []scout.FilterEntry{
+		scout.PortEntry(scout.ProtoTCP, 700),
+	}})
+	p.AddContract(scout.Contract{ID: 201, Name: "Web-App", Filters: []scout.ObjectID{80}})
+	p.AddContract(scout.Contract{ID: 202, Name: "App-DB", Filters: []scout.ObjectID{80, 700}})
+	p.Bind(1, 2, 201)
+	p.Bind(2, 3, 202)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("three-tier policy invalid: %v", err)
+	}
+	return p, scout.TopologyFromPolicy(p)
+}
+
+func TestAnalyzeConsistentFabric(t *testing.T) {
+	p, topo := threeTier(t)
+	f, err := scout.NewFabric(p, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := scout.NewAnalyzer().Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Consistent {
+		t.Fatalf("expected consistent fabric, got report: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "consistent") {
+		t.Errorf("summary should mention consistency: %q", rep.Summary())
+	}
+}
+
+func TestAnalyzeLocalizesEvictedFilter(t *testing.T) {
+	p, topo := threeTier(t)
+	f, err := scout.NewFabric(p, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full fault on filter 700: every TCAM rule derived from it vanishes.
+	removed, err := f.InjectObjectFault(scout.FilterRef(700), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("fault injection removed no rules")
+	}
+
+	rep, err := scout.NewAnalyzer().Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent {
+		t.Fatal("expected inconsistency after fault injection")
+	}
+	found := false
+	for _, ref := range rep.Hypothesis {
+		if ref == scout.FilterRef(700) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hypothesis %v should contain filter:700", rep.Hypothesis)
+	}
+}
+
+func TestAnalyzeUnresponsiveSwitch(t *testing.T) {
+	p, topo := threeTier(t)
+	f, err := scout.NewFabric(p, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Switch 2 goes dark; a new filter is then pushed, so S2 misses it.
+	if err := f.Disconnect(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilter(scout.Filter{ID: 443, Name: "port-443", Entries: []scout.FilterEntry{
+		scout.PortEntry(scout.ProtoTCP, 443),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilterToContract(202, 443); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := scout.NewAnalyzer().Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent {
+		t.Fatal("expected inconsistency: switch 2 missed the new filter")
+	}
+	// Only switch 2 should be inconsistent.
+	for _, sr := range rep.Switches {
+		wantEquivalent := sr.Switch != 2
+		if sr.Equivalent != wantEquivalent {
+			t.Errorf("switch %d equivalent=%v, want %v", sr.Switch, sr.Equivalent, wantEquivalent)
+		}
+	}
+	// Root cause should name the unresponsive switch.
+	if rep.RootCauses == nil || len(rep.RootCauses.RootCauses) == 0 {
+		t.Fatalf("expected a root cause; summary:\n%s", rep.Summary())
+	}
+	rc := rep.RootCauses.RootCauses[0]
+	if rc.Signature != "unresponsive-switch" || rc.Switch != 2 {
+		t.Errorf("top root cause = %q on switch %d, want unresponsive-switch on 2", rc.Signature, rc.Switch)
+	}
+}
