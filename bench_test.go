@@ -10,6 +10,7 @@
 package scout_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -263,6 +264,67 @@ func BenchmarkEndToEndAnalyze(b *testing.B) {
 		if rep.Consistent {
 			b.Fatal("fault not detected")
 		}
+	}
+}
+
+// BenchmarkAnalyzeWorkers measures the end-to-end analyzer at varying
+// worker counts on a multi-switch faulty fabric: workers=1 is the
+// historical serial pipeline, higher counts shard the per-switch
+// equivalence checks across the pool (the speedup is bounded by
+// GOMAXPROCS; on a single-core machine the sharded runs only pay the
+// lost cross-switch memoization).
+func BenchmarkAnalyzeWorkers(b *testing.B) {
+	spec := scout.ProductionWorkloadSpec()
+	spec.EPGs = 200
+	spec.Contracts = 120
+	spec.Filters = 60
+	spec.TargetPairs = 2000
+	spec.Switches = 16
+	// Pin each EPG to one switch (the paper's §VI-B scaling methodology:
+	// growth adds EPG-and-switch pairs). Per-switch rule sets then barely
+	// overlap, so sharding duplicates little BDD encoding work and the
+	// speedup tracks GOMAXPROCS instead of memo loss.
+	spec.SwitchesPerEPGMax = 1
+	pol, topo, err := scout.GenerateWorkload(spec, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	for _, bind := range pol.Bindings[:3] {
+		if _, err := f.InjectObjectFault(scout.ContractRef(bind.Contract), 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := scout.State{
+		Deployment: f.Deployment(),
+		TCAM:       f.CollectAll(),
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        f.Now(),
+	}
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				rep, err := a.AnalyzeState(st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Consistent {
+					b.Fatal("faults not detected")
+				}
+			}
+		})
 	}
 }
 

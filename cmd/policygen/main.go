@@ -11,42 +11,51 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scout"
 )
 
+// config carries the flag values so tests can drive run directly.
+type config struct {
+	specName string
+	scale    float64
+	seed     int64
+	out      string
+}
+
 func main() {
-	if err := run(); err != nil {
+	cfg := config{}
+	flag.StringVar(&cfg.specName, "spec", "production", "base spec: production or testbed")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "scale factor applied to EPG/contract/filter/pair counts")
+	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
+	flag.StringVar(&cfg.out, "out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "policygen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		specName = flag.String("spec", "production", "base spec: production or testbed")
-		scale    = flag.Float64("scale", 1.0, "scale factor applied to EPG/contract/filter/pair counts")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		out      = flag.String("out", "", "output file (default stdout)")
-	)
-	flag.Parse()
-
+// buildSpec resolves the base spec and applies the scale factor.
+func buildSpec(specName string, scale float64) (scout.WorkloadSpec, error) {
 	var spec scout.WorkloadSpec
-	switch *specName {
+	switch specName {
 	case "production":
 		spec = scout.ProductionWorkloadSpec()
 	case "testbed":
 		spec = scout.TestbedWorkloadSpec()
 	default:
-		return fmt.Errorf("unknown spec %q (want production or testbed)", *specName)
+		return spec, fmt.Errorf("unknown spec %q (want production or testbed)", specName)
 	}
-	if *scale != 1.0 {
-		if *scale <= 0 {
-			return fmt.Errorf("scale must be positive")
+	if scale != 1.0 {
+		if scale <= 0 {
+			return spec, fmt.Errorf("scale must be positive")
 		}
 		shrink := func(n int) int {
-			v := int(float64(n) * *scale)
+			v := int(float64(n) * scale)
 			if v < 2 {
 				v = 2
 			}
@@ -58,8 +67,15 @@ func run() error {
 		spec.TargetPairs = shrink(spec.TargetPairs)
 		spec.Switches = shrink(spec.Switches)
 	}
+	return spec, nil
+}
 
-	pol, _, err := scout.GenerateWorkload(spec, *seed)
+func run(cfg config, stdout, stderr io.Writer) error {
+	spec, err := buildSpec(cfg.specName, cfg.scale)
+	if err != nil {
+		return err
+	}
+	pol, _, err := scout.GenerateWorkload(spec, cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -70,12 +86,12 @@ func run() error {
 	data = append(data, '\n')
 
 	st := pol.Stats()
-	fmt.Fprintf(os.Stderr, "generated %s policy: %d VRFs, %d EPGs, %d endpoints, %d contracts, %d filters, %d EPG pairs\n",
+	fmt.Fprintf(stderr, "generated %s policy: %d VRFs, %d EPGs, %d endpoints, %d contracts, %d filters, %d EPG pairs\n",
 		spec.Name, st.VRFs, st.EPGs, st.Endpoints, st.Contracts, st.Filters, st.EPGPairs)
 
-	if *out == "" {
-		_, err = os.Stdout.Write(data)
+	if cfg.out == "" {
+		_, err = stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return os.WriteFile(cfg.out, data, 0o644)
 }

@@ -7,49 +7,68 @@
 //	scout-bench -experiment all
 //	scout-bench -experiment fig8 -scale 1.0 -runs 30
 //	scout-bench -experiment scale -switches 10,50,100,200,500
+//	scout-bench -experiment parallel -scale 0.5 -workers 8
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"scout"
 	"scout/internal/eval"
 	"scout/internal/workload"
 )
 
+// config carries the flag values so tests can drive run directly.
+type config struct {
+	experiment string
+	scale      float64
+	seed       int64
+	runs       int
+	maxFaults  int
+	noise      int
+	switchList string
+	workers    int
+}
+
 func main() {
-	if err := run(); err != nil {
+	cfg := config{}
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|all")
+	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
+	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
+	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
+	flag.IntVar(&cfg.maxFaults, "faults", 10, "max simultaneous faults for accuracy experiments")
+	flag.IntVar(&cfg.noise, "noise", 5, "healthy recently-changed objects per scenario")
+	flag.StringVar(&cfg.switchList, "switches", "10,25,50,100,200", "comma-separated switch counts for -experiment scale")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "scout-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		experiment = flag.String("experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|all")
-		scale      = flag.Float64("scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
-		seed       = flag.Int64("seed", 42, "experiment seed")
-		runs       = flag.Int("runs", 30, "repetitions per accuracy data point")
-		maxFaults  = flag.Int("faults", 10, "max simultaneous faults for accuracy experiments")
-		noise      = flag.Int("noise", 5, "healthy recently-changed objects per scenario")
-		switchList = flag.String("switches", "10,25,50,100,200", "comma-separated switch counts for -experiment scale")
-	)
-	flag.Parse()
-
-	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+func run(cfg config, w io.Writer) error {
+	want := func(name string) bool { return cfg.experiment == "all" || cfg.experiment == name }
 	simEnv := func() (*eval.Env, error) {
 		start := time.Now()
-		env, err := eval.NewEnv(eval.SimSpec(*scale), *seed)
+		env, err := eval.NewEnv(eval.SimSpec(cfg.scale), cfg.seed)
 		if err != nil {
 			return nil, err
 		}
 		st := env.Policy.Stats()
-		fmt.Printf("[workload] production-like scale=%.2f: %d EPGs, %d contracts, %d filters, %d pairs (%v)\n\n",
-			*scale, st.EPGs, st.Contracts, st.Filters, st.EPGPairs, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "[workload] production-like scale=%.2f: %d EPGs, %d contracts, %d filters, %d pairs (%v)\n\n",
+			cfg.scale, st.EPGs, st.Contracts, st.Filters, st.EPGPairs, time.Since(start).Round(time.Millisecond))
 		return env, nil
 	}
 
@@ -68,26 +87,26 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 3: EPG pairs per object (CDF checkpoints) ==")
-		fmt.Println(eval.Figure3(e).Render())
+		fmt.Fprintln(w, "== Figure 3: EPG pairs per object (CDF checkpoints) ==")
+		fmt.Fprintln(w, eval.Figure3(e).Render())
 	}
 
 	if want("fig7a") {
-		fmt.Println("== Figure 7(a): suspect-set reduction γ, testbed (200 faults) ==")
-		tb, err := eval.NewEnv(workload.TestbedSpec(), *seed)
+		fmt.Fprintln(w, "== Figure 7(a): suspect-set reduction γ, testbed (200 faults) ==")
+		tb, err := eval.NewEnv(workload.TestbedSpec(), cfg.seed)
 		if err != nil {
 			return err
 		}
 		res, err := eval.SuspectSetReduction(tb, eval.GammaOptions{
 			Faults:  200,
 			Buckets: [][2]int{{1, 10}, {10, 20}, {20, 40}, {40, 60}},
-			Noise:   *noise,
-			Seed:    *seed,
+			Noise:   cfg.noise,
+			Seed:    cfg.seed,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
 	if want("fig7b") {
@@ -95,32 +114,32 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 7(b): suspect-set reduction γ, simulation (1500 faults) ==")
+		fmt.Fprintln(w, "== Figure 7(b): suspect-set reduction γ, simulation (1500 faults) ==")
 		res, err := eval.SuspectSetReduction(e, eval.GammaOptions{
 			Faults:  1500,
 			Buckets: [][2]int{{1, 10}, {10, 50}, {50, 100}, {100, 500}, {500, 1000}},
-			Noise:   *noise,
-			Seed:    *seed,
+			Noise:   cfg.noise,
+			Seed:    cfg.seed,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
-	accOpts := eval.AccuracyOptions{MaxFaults: *maxFaults, Runs: *runs, Noise: *noise, Seed: *seed}
+	accOpts := eval.AccuracyOptions{MaxFaults: cfg.maxFaults, Runs: cfg.runs, Noise: cfg.noise, Seed: cfg.seed}
 
 	if want("fig8") {
 		e, err := getEnv()
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 8: precision/recall on the switch risk model ==")
+		fmt.Fprintln(w, "== Figure 8: precision/recall on the switch risk model ==")
 		res, err := eval.SwitchModelAccuracy(e, accOpts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
 	if want("fig9") {
@@ -128,26 +147,26 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 9: precision/recall on the controller risk model ==")
+		fmt.Fprintln(w, "== Figure 9: precision/recall on the controller risk model ==")
 		res, err := eval.ControllerModelAccuracy(e, accOpts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
 	if want("fig10") {
-		fmt.Println("== Figure 10: testbed end-to-end, SCOUT vs SCORE-1 ==")
+		fmt.Fprintln(w, "== Figure 10: testbed end-to-end, SCOUT vs SCORE-1 ==")
 		res, err := eval.TestbedAccuracy(workload.TestbedSpec(), eval.TestbedOptions{
-			MaxFaults: *maxFaults,
-			Runs:      minInt(*runs, 10), // paper uses 10 runs on the testbed
-			Noise:     *noise,
-			Seed:      *seed,
+			MaxFaults: cfg.maxFaults,
+			Runs:      minInt(cfg.runs, 10), // paper uses 10 runs on the testbed
+			Noise:     cfg.noise,
+			Seed:      cfg.seed,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
 	if want("ablation") {
@@ -155,28 +174,98 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Ablation: SCOUT with vs without the change-log stage ==")
+		fmt.Fprintln(w, "== Ablation: SCOUT with vs without the change-log stage ==")
 		opts := accOpts
 		opts.Algorithms = append(eval.StandardAlgorithms(), eval.ScoutNoChangeLog())
 		res, err := eval.ControllerModelAccuracy(e, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 
 	if want("scale") {
-		fmt.Println("== Scalability: SCOUT runtime vs switch count (§VI-B) ==")
-		counts, err := parseInts(*switchList)
+		fmt.Fprintln(w, "== Scalability: SCOUT runtime vs switch count (§VI-B) ==")
+		counts, err := parseInts(cfg.switchList)
 		if err != nil {
 			return err
 		}
-		res, err := eval.Scalability(counts, 5, *seed)
+		res, err := eval.Scalability(counts, 5, cfg.seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(w, res.Render())
 	}
+
+	if want("parallel") {
+		fmt.Fprintln(w, "== Parallel check stage: serial vs sharded per-switch checking ==")
+		if err := runParallel(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParallel measures the end-to-end analyzer with the serial check
+// stage against the sharded one on the same faulty fabric, and verifies
+// the reports are byte-identical (the pool's determinism contract).
+func runParallel(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	filters := make([]scout.ObjectID, 0, len(pol.Filters))
+	for id := range pol.Filters {
+		filters = append(filters, id)
+	}
+	sort.Slice(filters, func(i, j int) bool { return filters[i] < filters[j] })
+	for _, id := range filters[:minInt(3, len(filters))] {
+		if _, err := f.InjectObjectFault(scout.FilterRef(id), 1.0); err != nil {
+			return err
+		}
+	}
+	st := pol.Stats()
+	fmt.Fprintf(w, "fabric: %d switches, %d EPG pairs, 3 filter faults injected\n",
+		topo.NumSwitches(), st.EPGPairs)
+
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	measure := func(workers int) (time.Duration, []byte, error) {
+		rep, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers}).Analyze(f)
+		if err != nil {
+			return 0, nil, err
+		}
+		elapsed := rep.Elapsed
+		rep.Elapsed = 0
+		data, err := json.Marshal(rep)
+		return elapsed, data, err
+	}
+	serialTime, serialRep, err := measure(1)
+	if err != nil {
+		return err
+	}
+	parTime, parRep, err := measure(workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serial   (workers=1):  %v\n", serialTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "parallel (workers=%d): %v\n", workers, parTime.Round(time.Millisecond))
+	if parTime > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", float64(serialTime)/float64(parTime))
+	}
+	if !bytes.Equal(serialRep, parRep) {
+		return fmt.Errorf("parallel report differs from serial (determinism violation)")
+	}
+	fmt.Fprintln(w, "reports byte-identical: true")
 	return nil
 }
 

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 25,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 25 || got[2] != 50 {
+		t.Errorf("parseInts = %v, want [10 25 50]", got)
+	}
+	if _, err := parseInts("10,abc"); err == nil {
+		t.Error("bad count must fail")
+	}
+}
+
+// TestRunParallelSmoke runs the serial-vs-parallel experiment on a tiny
+// workload: it exercises the full analyzer pipeline at two worker counts
+// and enforces the byte-identical-report contract.
+func TestRunParallelSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "parallel", scale: 0.05, seed: 3, workers: 2}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"serial", "workers=2", "speedup", "reports byte-identical: true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunScaleSmoke runs the scalability sweep at a toy switch count, the
+// cheapest experiment that still spans workload generation, compilation,
+// risk-model build, and localization.
+func TestRunScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation is seconds-scale")
+	}
+	var out bytes.Buffer
+	cfg := config{experiment: "scale", scale: 0.05, seed: 3, switchList: "4"}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Scalability") {
+		t.Errorf("output missing scalability header:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsUnknownList guards the flag plumbing: a malformed
+// -switches list must fail the scale experiment, not silently no-op.
+func TestRunRejectsUnknownList(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "scale", scale: 0.05, seed: 3, switchList: "4,oops"}
+	if err := run(cfg, &out); err == nil {
+		t.Error("malformed -switches must error")
+	}
+}

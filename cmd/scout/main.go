@@ -54,6 +54,7 @@ func run() error {
 		capacity   = flag.Int("tcam", 0, "per-switch TCAM capacity (0 = default)")
 		disconnect = flag.Int("disconnect", -1, "switch ID to disconnect before analysis")
 		scenPath   = flag.String("scenario", "", "JSON scenario file to replay instead of -fault/-disconnect")
+		workers    = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
 		jsonOut    = flag.Bool("json", false, "emit the analysis report as JSON")
 		verbose    = flag.Bool("v", false, "print per-switch details")
 	)
@@ -125,7 +126,7 @@ func run() error {
 		fmt.Printf("disconnected switch %d during a policy change\n", sw)
 	}
 
-	report, err := scout.NewAnalyzer().Analyze(f)
+	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}

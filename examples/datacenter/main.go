@@ -8,13 +8,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"scout"
 )
 
+// workers shards the per-switch equivalence checks (0 = NumCPU).
+var workers = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +102,7 @@ func run() error {
 	}
 	fmt.Printf("fault 3: switch 3 offline while filter:9999 joined contract:%d\n", boundContract)
 
-	report, err := scout.NewAnalyzer().Analyze(f)
+	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}

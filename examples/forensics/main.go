@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -28,7 +29,11 @@ const incident = `{
   ]
 }`
 
+// workers shards the per-switch equivalence checks (0 = NumCPU).
+var workers = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +91,7 @@ func run() error {
 
 	// Forensics step 2: run the full SCOUT pipeline on the historical
 	// snapshot (no live fabric access needed).
-	report, err := scout.NewAnalyzer().AnalyzeState(scout.State{
+	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).AnalyzeState(scout.State{
 		Deployment: f.Deployment(),
 		TCAM:       incidentEpoch.TCAM,
 		Changes:    f.ChangeLog(),

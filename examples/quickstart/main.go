@@ -6,13 +6,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"scout"
 )
 
+// workers shards the per-switch equivalence checks (0 = NumCPU).
+var workers = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +65,7 @@ func run() error {
 
 	// 4. Run the SCOUT pipeline: collect TCAMs, BDD-check against the
 	//    policy, localize faulty objects, correlate root causes.
-	report, err := scout.NewAnalyzer().Analyze(f)
+	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}

@@ -7,13 +7,18 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"scout"
 )
 
+// workers shards the per-switch equivalence checks (0 = NumCPU).
+var workers = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +66,7 @@ func run() error {
 	// Shared pipeline front half: the analyzer produces per-switch missing
 	// rules; rebuild the annotated controller model from them so SCOUT and
 	// SCORE run on identical inputs.
-	report, err := scout.NewAnalyzer().Analyze(f)
+	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}

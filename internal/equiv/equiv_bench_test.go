@@ -1,6 +1,8 @@
 package equiv
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"scout/internal/object"
@@ -76,6 +78,72 @@ func BenchmarkNaiveCheck(b *testing.B) {
 		}
 	}
 }
+
+// benchFabricTables builds per-switch (logical, deployed) table pairs:
+// each switch carries a distinct slice of the rule space and a ~5%
+// degraded TCAM copy, mimicking a multi-switch fabric under faults.
+func benchFabricTables(switches, rulesPerSwitch int) (logical, deployed [][]rule.Rule) {
+	logical = make([][]rule.Rule, switches)
+	deployed = make([][]rule.Rule, switches)
+	for s := 0; s < switches; s++ {
+		rules := make([]rule.Rule, 0, rulesPerSwitch+1)
+		for i := 0; i < rulesPerSwitch; i++ {
+			rules = append(rules, allowRule(1,
+				object.ID((s*7+i)%64), object.ID(64+(s*11+i)%64), uint16(1024+s*rulesPerSwitch+i)))
+		}
+		rules = append(rules, rule.DefaultDeny())
+		logical[s] = rules
+		deg := make([]rule.Rule, 0, len(rules))
+		for i, r := range rules {
+			if i%20 == s%20 && i < rulesPerSwitch {
+				continue
+			}
+			deg = append(deg, r)
+		}
+		deployed[s] = deg
+	}
+	return logical, deployed
+}
+
+// benchFanout checks every switch's tables with the given worker count,
+// one private Checker per worker — the Analyzer's check-stage sharding.
+func benchFanout(b *testing.B, workers int) {
+	const switches = 16
+	logical, deployed := benchFabricTables(switches, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := NewChecker()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= switches {
+						return
+					}
+					rep, err := c.Check(logical[s], deployed[s])
+					if err != nil || rep.Equivalent {
+						b.Error("degraded copy must differ")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		next.Store(0)
+	}
+}
+
+// BenchmarkFanoutSerial is the one-checker-for-all-switches baseline
+// (the pre-worker-pool Analyzer pipeline).
+func BenchmarkFanoutSerial(b *testing.B) { benchFanout(b, 1) }
+
+// BenchmarkFanout4 shards the same fabric across 4 workers; the speedup
+// over BenchmarkFanoutSerial is bounded by GOMAXPROCS.
+func BenchmarkFanout4(b *testing.B) { benchFanout(b, 4) }
 
 // BenchmarkMissingSpace measures cube extraction on a 5%-degraded table.
 func BenchmarkMissingSpace(b *testing.B) {

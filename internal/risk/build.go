@@ -5,6 +5,7 @@ package risk
 
 import (
 	"fmt"
+	"sort"
 
 	"scout/internal/compile"
 	"scout/internal/object"
@@ -17,12 +18,21 @@ import (
 // risks are the policy objects each pair's rules depend on.
 func BuildSwitchModel(d *compile.Deployment, sw object.ID) *Model {
 	m := NewModel(fmt.Sprintf("switch-%d", sw))
-	for sp, keys := range d.PairRules {
-		if sp.Switch != sw {
-			continue
+	// Insert elements in sorted pair order, not PairRules map order:
+	// element IDs are dense insertion indices, so map-order iteration
+	// would make IDs (and every downstream localization tie-break) vary
+	// run to run. Only this switch's pairs are collected and sorted —
+	// the full-fabric footprint would make per-switch builds quadratic.
+	pairs := make([]compile.SwitchPair, 0, 64)
+	for sp := range d.PairRules {
+		if sp.Switch == sw {
+			pairs = append(pairs, sp)
 		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+	for _, sp := range pairs {
 		el := m.EnsureElement(sp.Pair.String())
-		for _, k := range keys {
+		for _, k := range d.PairRules[sp] {
 			for _, ref := range d.Provenance[k] {
 				m.AddEdge(el, ref)
 			}

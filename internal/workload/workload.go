@@ -186,6 +186,11 @@ func Generate(spec Spec, seed int64) (*policy.Policy, *topo.Topology, error) {
 	if maxSw < 1 {
 		maxSw = 1
 	}
+	if maxSw > spec.Switches {
+		// A tiny fabric can have fewer switches than the spread bound;
+		// sampling more than exist would slice past the permutation.
+		maxSw = spec.Switches
+	}
 	for i := 0; i < spec.EPGs; i++ {
 		nEPs := 1 + rng.Intn(maxEPs)
 		nSw := 1 + rng.Intn(maxSw)

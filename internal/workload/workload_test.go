@@ -352,3 +352,23 @@ func TestTopologyCoversAllSwitches(t *testing.T) {
 		t.Errorf("switches = %d, want 50 (padding)", tp.NumSwitches())
 	}
 }
+
+func TestGenerateFewerSwitchesThanSpread(t *testing.T) {
+	// Regression: a spec scaled down to fewer switches than
+	// SwitchesPerEPGMax used to slice past the switch permutation.
+	spec := smallSpec()
+	spec.Switches = 2
+	spec.SwitchesPerEPGMax = 5
+	p, tp, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumSwitches() != 2 {
+		t.Errorf("switches = %d, want 2", tp.NumSwitches())
+	}
+	for _, ep := range p.Endpoints {
+		if ep.Switch < 1 || ep.Switch > 2 {
+			t.Fatalf("endpoint %d placed on nonexistent switch %d", ep.ID, ep.Switch)
+		}
+	}
+}

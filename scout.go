@@ -28,8 +28,11 @@ package scout
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"scout/internal/correlate"
@@ -68,6 +71,15 @@ type AnalyzerOptions struct {
 	// observation source). Probing samples the header space, so extra
 	// behaviour from corrupted rules is not reported in this mode.
 	UseProbes bool
+
+	// Workers bounds the number of concurrent per-switch equivalence
+	// checks. L-T checks are independent across switches (§III-C checks
+	// each switch on its own), so the check stage fans out over a pool of
+	// Workers goroutines, each owning a private equiv.Checker; results are
+	// folded back serially in ascending switch-ID order, so reports are
+	// byte-for-byte identical for any worker count. 0 (the default)
+	// selects runtime.NumCPU(); 1 restores the fully serial pipeline.
+	Workers int
 }
 
 // Analyzer runs the SCOUT pipeline against a fabric.
@@ -164,13 +176,15 @@ func (a *Analyzer) analyzeWithProbes(f *fabric.Fabric) (*Report, error) {
 	start := time.Now()
 	d := f.Deployment()
 	ctrlModel, oracle, rep := a.prepare(d, f.ChangeLog(), f.Now())
-	checker := equiv.NewChecker()
-	for _, sw := range f.Topology().Switches() {
-		checkRep, err := a.checkSwitch(f, checker, sw)
-		if err != nil {
-			return nil, err
-		}
-		a.accumulate(rep, ctrlModel, oracle, d, sw, checkRep)
+	switches := sortSwitches(f.Topology().Switches())
+	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+		return a.checkSwitch(f, c, sw)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range switches {
+		a.accumulate(rep, ctrlModel, oracle, d, sw, reports[i])
 	}
 	a.finish(rep, ctrlModel, oracle, f.ChangeLog(), f.FaultLog())
 	rep.Elapsed = time.Since(start)
@@ -200,24 +214,126 @@ func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
 
-	checker := equiv.NewChecker()
-	for _, sw := range switches {
+	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 		logical := st.Deployment.RulesFor(sw)
-		var checkRep *equiv.Report
 		if a.opts.UseNaiveChecker {
-			checkRep = equiv.NaiveCheck(logical, st.TCAM[sw])
-		} else {
-			var err error
-			checkRep, err = checker.Check(logical, st.TCAM[sw])
-			if err != nil {
-				return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
-			}
+			return equiv.NaiveCheck(logical, st.TCAM[sw]), nil
 		}
-		a.accumulate(rep, ctrlModel, oracle, st.Deployment, sw, checkRep)
+		checkRep, err := c.Check(logical, st.TCAM[sw])
+		if err != nil {
+			return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
+		}
+		return checkRep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range switches {
+		a.accumulate(rep, ctrlModel, oracle, st.Deployment, sw, reports[i])
 	}
 	a.finish(rep, ctrlModel, oracle, changes, faults)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// checkFunc computes one switch's equivalence report. The checker argument
+// is private to the calling worker (nil in the naive and probe modes,
+// which never touch it); implementations must otherwise only read shared
+// state, since checkAll invokes them concurrently.
+type checkFunc func(c *equiv.Checker, sw object.ID) (*equiv.Report, error)
+
+// newWorkerChecker builds the per-worker BDD checker, or nil when the
+// configured observation source never uses one.
+func (a *Analyzer) newWorkerChecker() *equiv.Checker {
+	if a.opts.UseNaiveChecker || a.opts.UseProbes {
+		return nil
+	}
+	return equiv.NewChecker()
+}
+
+// workers resolves the worker count for a check stage over n switches.
+func (a *Analyzer) workers(n int) int {
+	w := a.opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// checkAll runs the pure check stage of the pipeline: it fans check out
+// over the switches with the configured worker pool and returns the
+// reports aligned with the input slice. Each worker owns one
+// equiv.Checker (a Checker is not safe for concurrent use, but reusing
+// one per worker amortizes BDD construction across that worker's
+// switches). With one worker — or one switch — it degenerates to the
+// serial loop the pipeline always ran. The caller folds the aligned
+// results serially, so report order never depends on scheduling. On
+// error the pool drains early and the lowest-index recorded error is
+// returned; when several switches fail concurrently, which one is
+// reported may vary (successful analyses are deterministic, failures
+// are exceptional).
+func (a *Analyzer) checkAll(switches []object.ID, check checkFunc) ([]*equiv.Report, error) {
+	reports := make([]*equiv.Report, len(switches))
+	w := a.workers(len(switches))
+	if w <= 1 {
+		c := a.newWorkerChecker()
+		for i, sw := range switches {
+			rep, err := check(c, sw)
+			if err != nil {
+				return nil, err
+			}
+			reports[i] = rep
+		}
+		return reports, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Bool
+	)
+	errs := make([]error, len(switches))
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := a.newWorkerChecker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(switches) || failed.Load() {
+					return
+				}
+				rep, err := check(c, switches[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// sortSwitches returns a sorted copy of the switch IDs, the canonical
+// fan-out and fold order.
+func sortSwitches(switches []object.ID) []object.ID {
+	out := append([]object.ID(nil), switches...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // prepare builds the shared analysis state.
@@ -305,7 +421,7 @@ func (a *Analyzer) AnalyzeSwitch(f *fabric.Fabric, sw object.ID) (*SwitchReport,
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
 	}
-	checkRep, err := a.checkSwitch(f, equiv.NewChecker(), sw)
+	checkRep, err := a.checkSwitch(f, a.newWorkerChecker(), sw)
 	if err != nil {
 		return nil, err
 	}
