@@ -216,6 +216,9 @@ var (
 	ProductionWorkloadSpec = workload.ProductionSpec
 	// TestbedWorkloadSpec mirrors the paper's hardware testbed policy.
 	TestbedWorkloadSpec = workload.TestbedSpec
+	// SmallFabricWorkloadSpec is a small deployment with production-like
+	// density (use instead of linearly shrinking the production spec).
+	SmallFabricWorkloadSpec = workload.SmallFabricSpec
 )
 
 // State collection.
@@ -233,6 +236,9 @@ var (
 	NewCollector = collect.New
 	// DiffEpochs compares two epochs switch by switch.
 	DiffEpochs = collect.Diff
+	// DirtyEpochSwitches lists the switches whose rules differ between two
+	// epochs — the invalidation input for incremental re-verification.
+	DirtyEpochSwitches = collect.DirtySwitches
 )
 
 // Scenario scripting.

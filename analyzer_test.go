@@ -116,6 +116,52 @@ func TestAnalyzeSwitchScoped(t *testing.T) {
 	}
 }
 
+// TestAnalyzeSwitchRequiresDeploy pins the event-driven single-switch
+// mode's precondition: no compiled desired state, no check.
+func TestAnalyzeSwitchRequiresDeploy(t *testing.T) {
+	p, topo := threeTier(t)
+	f, err := scout.NewFabric(p, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scout.NewAnalyzer().AnalyzeSwitch(f, 1); err == nil {
+		t.Error("AnalyzeSwitch before Deploy must fail")
+	}
+}
+
+// TestAnalyzeSwitchObservationSources runs the single-switch mode through
+// each observation source — probes and the naive differ — which share the
+// fan-out machinery but take different checker paths.
+func TestAnalyzeSwitchObservationSources(t *testing.T) {
+	for _, opts := range []scout.AnalyzerOptions{
+		{UseProbes: true},
+		{UseNaiveChecker: true},
+	} {
+		f := deployedThreeTier(t, 1)
+		if _, err := f.InjectObjectFault(scout.FilterRef(700), 1.0); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := scout.NewAnalyzer(opts).AnalyzeSwitch(f, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Equivalent || len(sr.MissingRules) == 0 || sr.Result == nil {
+			t.Errorf("opts %+v: switch 2 report = %+v, want missing rules and a localization", opts, sr)
+		}
+		clean, err := scout.NewAnalyzer(opts).AnalyzeSwitch(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !clean.Equivalent || clean.Result != nil {
+			t.Errorf("opts %+v: switch 1 must stay consistent", opts)
+		}
+		// Probing an unknown switch surfaces the fabric error too.
+		if _, err := scout.NewAnalyzer(opts).AnalyzeSwitch(f, 99); err == nil {
+			t.Errorf("opts %+v: unknown switch must fail", opts)
+		}
+	}
+}
+
 func TestAnalyzeDetectsCorruptionAsExtraRules(t *testing.T) {
 	f := deployedThreeTier(t, 5)
 	damaged, err := f.CorruptTCAM(2, 2, scout.CorruptVRF)

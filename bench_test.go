@@ -328,6 +328,93 @@ func BenchmarkAnalyzeWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionIncremental measures warm delta re-verification against
+// cold full analysis on the production-like spec (the same scaled
+// production dataset every other benchmark uses; cmd/scout-bench
+// -experiment incremental runs it at paper scale). Each iteration touches
+// exactly one switch's TCAM: the cold path re-analyzes the whole fabric,
+// the warm path re-checks only the touched switch and replays cached
+// reports for the rest. The TCAM capacity is raised so the baseline
+// deploys cleanly and the comparison isolates the check-stage savings.
+func BenchmarkSessionIncremental(b *testing.B) {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(benchScale), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newFabric := func(b *testing.B) *scout.Fabric {
+		f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 42, TCAMCapacity: 1 << 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	// toggle alternates removing and re-installing one switch's
+	// highest-priority rule, so every iteration dirties exactly one switch.
+	makeToggle := func(b *testing.B, f *scout.Fabric) func(i int) {
+		sw := topo.Switches()[0]
+		s, err := f.Switch(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules, err := f.CollectTCAM(sw)
+		if err != nil || len(rules) == 0 {
+			b.Fatalf("no rules on switch %d: %v", sw, err)
+		}
+		target := rules[0]
+		return func(i int) {
+			if i%2 == 0 {
+				if !s.TCAM().Remove(target.Key()) {
+					b.Fatal("toggle remove failed")
+				}
+				return
+			}
+			if err := s.TCAM().Install(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		f := newFabric(b)
+		toggle := makeToggle(b, f)
+		a := scout.NewAnalyzer()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(i)
+			if _, err := a.Analyze(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		f := newFabric(b)
+		toggle := makeToggle(b, f)
+		sess, err := scout.NewSession(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		collector := scout.NewCollector(f, 2)
+		if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+			b.Fatal(err) // warm-up: populate the per-switch cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(i)
+			if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sess.Stats()
+		if st.Runs > 1 {
+			b.ReportMetric(float64(st.Checked-len(topo.Switches()))/float64(st.Runs-1), "switches-rechecked/op")
+		}
+	})
+}
+
 // BenchmarkEquivBDD and BenchmarkEquivNaive compare the exact ROBDD
 // checker against the key-set differ (DESIGN.md ablation: the naive
 // differ is faster but blind to semantic overlap).

@@ -27,7 +27,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.specName, "spec", "production", "base spec: production or testbed")
+	flag.StringVar(&cfg.specName, "spec", "production", "base spec: production, testbed, or small")
 	flag.Float64Var(&cfg.scale, "scale", 1.0, "scale factor applied to EPG/contract/filter/pair counts")
 	flag.Int64Var(&cfg.seed, "seed", 42, "generator seed")
 	flag.StringVar(&cfg.out, "out", "", "output file (default stdout)")
@@ -47,8 +47,10 @@ func buildSpec(specName string, scale float64) (scout.WorkloadSpec, error) {
 		spec = scout.ProductionWorkloadSpec()
 	case "testbed":
 		spec = scout.TestbedWorkloadSpec()
+	case "small":
+		spec = scout.SmallFabricWorkloadSpec()
 	default:
-		return spec, fmt.Errorf("unknown spec %q (want production or testbed)", specName)
+		return spec, fmt.Errorf("unknown spec %q (want production, testbed, or small)", specName)
 	}
 	if scale != 1.0 {
 		if scale <= 0 {

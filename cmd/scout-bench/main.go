@@ -42,7 +42,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -203,6 +203,101 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 	}
+
+	if want("incremental") {
+		fmt.Fprintln(w, "== Incremental sessions: cold full analysis vs warm delta re-verification ==")
+		if err := runIncremental(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runIncremental measures a persistent analysis session against the
+// one-shot analyzer on the same fabric: after a warm-up run, one switch's
+// TCAM is touched and the warm session re-checks only that switch while
+// the cold analyzer redoes the whole fabric. The reports must stay
+// byte-identical (the session's replay contract).
+func runIncremental(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fabric: %d switches, %d EPG pairs\n", topo.NumSwitches(), pol.Stats().EPGPairs)
+
+	opts := scout.AnalyzerOptions{Workers: cfg.workers}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		return err
+	}
+	collector := scout.NewCollector(f, 4)
+
+	coldSession, err := sess.AnalyzeEpoch(collector.Snapshot())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cold session run (all %d switches checked): %v\n",
+		len(coldSession.Switches), coldSession.Elapsed.Round(time.Millisecond))
+
+	// Touch exactly one switch: evict its highest-priority rule.
+	sw := topo.Switches()[0]
+	s, err := f.Switch(sw)
+	if err != nil {
+		return err
+	}
+	rules, err := f.CollectTCAM(sw)
+	if err != nil {
+		return err
+	}
+	if len(rules) == 0 || !s.TCAM().Remove(rules[0].Key()) {
+		return fmt.Errorf("could not touch switch %d", sw)
+	}
+
+	before := sess.Stats()
+	epoch := collector.Snapshot()
+	warm, err := sess.AnalyzeEpoch(epoch)
+	if err != nil {
+		return err
+	}
+	checked := sess.Stats().Checked - before.Checked
+	fmt.Fprintf(w, "warm delta run (%d/%d switches re-checked): %v\n",
+		checked, len(warm.Switches), warm.Elapsed.Round(time.Millisecond))
+
+	cold, err := scout.NewAnalyzer(opts).AnalyzeState(scout.State{
+		Deployment: f.Deployment(),
+		TCAM:       epoch.TCAM,
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        epoch.Time,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cold full analysis of the same state: %v\n", cold.Elapsed.Round(time.Millisecond))
+	if warm.Elapsed > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", float64(cold.Elapsed)/float64(warm.Elapsed))
+	}
+
+	warm.Elapsed, cold.Elapsed = 0, 0
+	wData, err := json.Marshal(warm)
+	if err != nil {
+		return err
+	}
+	cData, err := json.Marshal(cold)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(wData, cData) {
+		return fmt.Errorf("warm report differs from cold (replay violation)")
+	}
+	fmt.Fprintln(w, "reports byte-identical: true")
 	return nil
 }
 

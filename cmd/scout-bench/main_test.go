@@ -35,6 +35,22 @@ func TestRunParallelSmoke(t *testing.T) {
 	}
 }
 
+// TestRunIncrementalSmoke runs the session experiment on a tiny workload:
+// a cold session run, a one-switch touch, a warm delta run, and the
+// byte-identical replay contract against the cold analyzer.
+func TestRunIncrementalSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "incremental", scale: 0.05, seed: 3, workers: 2}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"cold session run", "warm delta run (1/", "speedup", "reports byte-identical: true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestRunScaleSmoke runs the scalability sweep at a toy switch count, the
 // cheapest experiment that still spans workload generation, compilation,
 // risk-model build, and localization.

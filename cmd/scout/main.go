@@ -7,19 +7,25 @@
 //	scout -policy policy.json -fault filter:5003@1.0 -fault epg:1004@0.4 \
 //	      -disconnect 3 -v
 //	scout -spec testbed -fault filter:5002@1.0
+//	scout -spec small -watch -fault filter:5003@1.0 -fault epg:1004@0.4
 //
 // Fault syntax: <kind>:<id>@<fraction> where fraction 1.0 is a full
 // object fault and anything lower a partial fault. -disconnect takes a
 // switch ID to render unreachable before a final no-op policy touch.
+// -watch replaces the one-shot analysis with a persistent session:
+// a full baseline run, then one collection + delta re-verification round
+// per fault, re-checking only the switches each fault touched.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"scout"
 )
@@ -55,6 +61,7 @@ func run() error {
 		disconnect = flag.Int("disconnect", -1, "switch ID to disconnect before analysis")
 		scenPath   = flag.String("scenario", "", "JSON scenario file to replay instead of -fault/-disconnect")
 		workers    = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+		watch      = flag.Bool("watch", false, "drive a persistent analysis session: snapshot + delta re-verification around every injected fault")
 		jsonOut    = flag.Bool("json", false, "emit the analysis report as JSON")
 		verbose    = flag.Bool("v", false, "print per-switch details")
 	)
@@ -95,17 +102,20 @@ func run() error {
 			sc.Name, res.StepsRun, res.RulesRemoved, res.RulesCorrupted)
 	}
 
+	parsed := make([]objectFault, 0, len(faults))
 	for _, spec := range faults {
 		ref, fraction, err := parseFault(spec)
 		if err != nil {
 			return err
 		}
-		removed, err := f.InjectObjectFault(ref, fraction)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("injected %s @%.2f: %d rules removed\n", ref, fraction, removed)
+		parsed = append(parsed, objectFault{ref: ref, fraction: fraction})
 	}
+
+	// The disconnect (and its visibility-granting policy touch) applies
+	// in both modes: one-shot analyses see it alongside the faults, watch
+	// sessions fold it into the baseline round. Fault injection order is
+	// immaterial — faults bypass the agent views, so the redeploy here
+	// never restores them.
 	if *disconnect >= 0 {
 		sw := scout.ObjectID(*disconnect)
 		if err := f.Disconnect(sw); err != nil {
@@ -126,11 +136,33 @@ func run() error {
 		fmt.Printf("disconnected switch %d during a policy change\n", sw)
 	}
 
+	if *watch {
+		report, err := runWatch(f, parsed, scout.AnalyzerOptions{Workers: *workers}, os.Stdout)
+		if err != nil {
+			return err
+		}
+		return emitReport(report, *jsonOut, *verbose)
+	}
+
+	for _, flt := range parsed {
+		removed, err := f.InjectObjectFault(flt.ref, flt.fraction)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
+	}
+
 	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
+	return emitReport(report, *jsonOut, *verbose)
+}
+
+// emitReport renders the final analysis report (shared by the one-shot and
+// watch paths).
+func emitReport(report *scout.Report, jsonOut, verbose bool) error {
+	if jsonOut {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -140,7 +172,7 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Print(report.Summary())
-	if *verbose {
+	if verbose {
 		fmt.Println("\nper-switch details:")
 		for _, sr := range report.Switches {
 			status := "consistent"
@@ -153,6 +185,55 @@ func run() error {
 	}
 	fmt.Printf("\nanalysis wall-clock: %v\n", report.Elapsed)
 	return nil
+}
+
+// objectFault is one parsed -fault argument.
+type objectFault struct {
+	ref      scout.ObjectRef
+	fraction float64
+}
+
+// runWatch drives a persistent analysis session the way a production
+// deployment would: a clean baseline epoch is collected and fully
+// analyzed, then every fault is injected in its own round — snapshot,
+// delta re-verification of only the switches the fault touched, report.
+// It returns the final round's report.
+func runWatch(f *scout.Fabric, faults []objectFault, opts scout.AnalyzerOptions, w io.Writer) (*scout.Report, error) {
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	collector := scout.NewCollector(f, len(faults)+1)
+
+	round := func(label string) (*scout.Report, error) {
+		epoch := collector.Snapshot()
+		before := sess.Stats()
+		report, err := sess.AnalyzeEpoch(epoch)
+		if err != nil {
+			return nil, err
+		}
+		after := sess.Stats()
+		fmt.Fprintf(w, "epoch %d (%s): re-checked %d/%d switches (%d replayed), %d missing rules, %v\n",
+			epoch.Seq, label, after.Checked-before.Checked, len(report.Switches),
+			after.Replayed-before.Replayed, report.TotalMissing, report.Elapsed.Round(time.Microsecond))
+		return report, nil
+	}
+
+	report, err := round("baseline")
+	if err != nil {
+		return nil, err
+	}
+	for _, flt := range faults {
+		removed, err := f.InjectObjectFault(flt.ref, flt.fraction)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
+		if report, err = round(flt.ref.String()); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
 }
 
 func loadPolicy(path, specName string, seed int64) (*scout.Policy, *scout.Topology, error) {
@@ -173,6 +254,8 @@ func loadPolicy(path, specName string, seed int64) (*scout.Policy, *scout.Topolo
 		spec = scout.ProductionWorkloadSpec()
 	case "testbed":
 		spec = scout.TestbedWorkloadSpec()
+	case "small":
+		spec = scout.SmallFabricWorkloadSpec()
 	default:
 		return nil, nil, fmt.Errorf("unknown spec %q", specName)
 	}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"scout"
@@ -76,5 +79,57 @@ func TestLoadPolicyFromFile(t *testing.T) {
 	}
 	if topo.NumSwitches() == 0 {
 		t.Error("topology not derived")
+	}
+}
+
+func TestLoadPolicySmallSpec(t *testing.T) {
+	pol, topo, err := loadPolicy("", "small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Stats().EPGs == 0 || topo.NumSwitches() == 0 {
+		t.Error("generated small-fabric policy empty")
+	}
+}
+
+// TestRunWatch drives the persistent-session mode: a full baseline round,
+// then one delta round per fault that re-checks only touched switches.
+func TestRunWatch(t *testing.T) {
+	pol, topo, err := loadPolicy("", "testbed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	var filterID scout.ObjectID
+	for id := range pol.Filters {
+		if filterID == 0 || id < filterID {
+			filterID = id
+		}
+	}
+
+	var out bytes.Buffer
+	report, err := runWatch(f, []objectFault{{ref: scout.FilterRef(filterID), fraction: 1.0}},
+		scout.AnalyzerOptions{Workers: 2}, &out)
+	if err != nil {
+		t.Fatalf("runWatch: %v\noutput:\n%s", err, out.String())
+	}
+	if report == nil || report.Consistent {
+		t.Fatalf("final watch report must flag the fault; output:\n%s", out.String())
+	}
+	n := topo.NumSwitches()
+	for _, want := range []string{
+		fmt.Sprintf("epoch 1 (baseline): re-checked %d/%d", n, n),
+		"injected filter:",
+		fmt.Sprintf("epoch 2 (filter:%d): re-checked", filterID),
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }

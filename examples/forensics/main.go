@@ -1,8 +1,10 @@
-// Forensics demonstrates post-incident analysis with the state collector:
-// TCAM state is snapshotted into epochs on a schedule, a scripted incident
-// (JSON scenario) unfolds between collections, and the operator
-// reconstructs what happened offline — diffing epochs and running the
-// analyzer against historical state with AnalyzeState.
+// Forensics demonstrates post-incident analysis with the state collector
+// and a persistent analysis session: TCAM state is snapshotted into
+// epochs on a schedule and continuously verified by a scout.Session, a
+// scripted incident (JSON scenario) unfolds between collections, and the
+// operator reconstructs what happened — diffing epochs and re-verifying
+// only the switches the incident touched (the session replays cached
+// verdicts for the rest).
 //
 //	go run ./examples/forensics
 package main
@@ -65,10 +67,20 @@ func run() error {
 		return err
 	}
 
-	// Periodic collection: take a clean baseline epoch.
+	// Periodic collection feeding a persistent session: the baseline
+	// epoch is fully verified (cold run) and its verdicts cached.
+	sess, err := scout.NewSession(f, scout.AnalyzerOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
 	collector := scout.NewCollector(f, 8)
 	baseline := collector.Snapshot()
-	fmt.Printf("epoch %d collected: %d rules (baseline)\n", baseline.Seq, baseline.RuleCount())
+	baseRep, err := sess.AnalyzeEpoch(baseline)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d collected: %d rules (baseline, consistent=%v)\n",
+		baseline.Seq, baseline.RuleCount(), baseRep.Consistent)
 
 	// The incident unfolds (replayed from the ticket's scenario JSON).
 	sc, err := scout.ParseScenario([]byte(incident))
@@ -89,19 +101,18 @@ func run() error {
 			delta.Switch, len(delta.Added), len(delta.Removed))
 	}
 
-	// Forensics step 2: run the full SCOUT pipeline on the historical
-	// snapshot (no live fabric access needed).
-	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).AnalyzeState(scout.State{
-		Deployment: f.Deployment(),
-		TCAM:       incidentEpoch.TCAM,
-		Changes:    f.ChangeLog(),
-		Faults:     f.FaultLog(),
-		Now:        incidentEpoch.Time,
-	})
+	// Forensics step 2: delta re-verification of the post-incident epoch.
+	// The session re-checks only the switches whose logical or TCAM rules
+	// changed and replays the cached baseline verdicts for the rest; the
+	// report is byte-identical to a cold full analysis.
+	before := sess.Stats()
+	report, err := sess.AnalyzeEpoch(incidentEpoch)
 	if err != nil {
 		return err
 	}
-	fmt.Println()
+	after := sess.Stats()
+	fmt.Printf("\ndelta re-verification: re-checked %d/%d switches (%d replayed from cache)\n\n",
+		after.Checked-before.Checked, len(report.Switches), after.Replayed-before.Replayed)
 	fmt.Print(report.Summary())
 
 	// Forensics step 3: localization trace for the ticket.

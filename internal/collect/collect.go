@@ -104,6 +104,32 @@ type SwitchDelta struct {
 	Removed []rule.Rule // present in the older epoch only
 }
 
+// DirtySwitches returns the IDs of switches whose TCAM rule lists differ
+// between the two epochs, sorted ascending; switches present in only one
+// epoch count as dirty. Unlike Diff it never materializes per-rule deltas:
+// rule lists are compared elementwise (order-sensitively, the same
+// sensitivity the equivalence checker has, so a clean verdict is always
+// safe to act on) with early exit at the first difference, making it cheap
+// enough to run on every collection. It is the invalidation input for
+// incremental re-verification: an analysis session re-checks only the
+// dirty switches of a new epoch.
+func DirtySwitches(older, newer *Epoch) []object.ID {
+	var out []object.ID
+	for sw, rules := range older.TCAM {
+		newRules, ok := newer.TCAM[sw]
+		if !ok || !rule.SlicesEqual(rules, newRules) {
+			out = append(out, sw)
+		}
+	}
+	for sw := range newer.TCAM {
+		if _, ok := older.TCAM[sw]; !ok {
+			out = append(out, sw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Diff compares two epochs and returns the per-switch rule deltas, sorted
 // by switch; switches with no change are omitted.
 func Diff(older, newer *Epoch) []SwitchDelta {

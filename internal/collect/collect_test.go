@@ -125,6 +125,82 @@ func TestDiffDetectsAddition(t *testing.T) {
 	}
 }
 
+// TestDirtySwitchesNoChange covers the steady-state edge case of the
+// incremental dirty-set path: identical epochs dirty nothing.
+func TestDirtySwitchesNoChange(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	a := c.Snapshot()
+	b := c.Snapshot()
+	if dirty := DirtySwitches(a, b); len(dirty) != 0 {
+		t.Errorf("identical epochs dirty = %v, want none", dirty)
+	}
+}
+
+// TestDirtySwitchesAllChange covers the opposite edge: a policy rollout
+// touching every switch dirties the whole fabric, sorted ascending.
+func TestDirtySwitchesAllChange(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	before := c.Snapshot()
+	if err := f.AddFilter(policy.Filter{ID: 443, Entries: []policy.FilterEntry{policy.PortEntry(rule.ProtoTCP, 443)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilterToContract(201, 443); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	dirty := DirtySwitches(before, after)
+	if len(dirty) != 2 || dirty[0] != 1 || dirty[1] != 2 {
+		t.Fatalf("dirty = %v, want [1 2]", dirty)
+	}
+}
+
+func TestDirtySwitchesSingleEviction(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	before := c.Snapshot()
+	if _, err := f.EvictTCAM(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Snapshot()
+	if dirty := DirtySwitches(before, after); len(dirty) != 1 || dirty[0] != 2 {
+		t.Fatalf("dirty = %v, want [2]", dirty)
+	}
+}
+
+// TestDirtySwitchesMembershipAndOrder pins the contract details on
+// synthetic epochs: switches present in only one epoch are dirty, and
+// the comparison is order-sensitive (the same sensitivity the
+// equivalence checker has), so a reordered rule list counts as dirty.
+func TestDirtySwitchesMembershipAndOrder(t *testing.T) {
+	r1 := rule.Rule{Match: rule.Match{VRF: 101, SrcEPG: 1, DstEPG: 2, Proto: rule.ProtoTCP, PortLo: 80, PortHi: 80}, Action: rule.Allow, Priority: 10}
+	r2 := rule.Rule{Match: rule.Match{VRF: 101, SrcEPG: 2, DstEPG: 1, Proto: rule.ProtoTCP, PortLo: 80, PortHi: 80}, Action: rule.Allow, Priority: 10}
+	older := &Epoch{TCAM: map[object.ID][]rule.Rule{
+		1: {r1, r2},
+		2: {r1},
+	}}
+	newer := &Epoch{TCAM: map[object.ID][]rule.Rule{
+		1: {r2, r1}, // same set, different order
+		3: {r2},     // switch 2 vanished, switch 3 appeared
+	}}
+	dirty := DirtySwitches(older, newer)
+	want := []object.ID{1, 2, 3}
+	// Membership is checked before rule content: a switch present in only
+	// one epoch is dirty even when its rule list is empty.
+	if got := DirtySwitches(&Epoch{TCAM: map[object.ID][]rule.Rule{5: {}}}, &Epoch{TCAM: map[object.ID][]rule.Rule{}}); len(got) != 1 || got[0] != 5 {
+		t.Errorf("empty-TCAM switch present only in older: dirty = %v, want [5]", got)
+	}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", dirty, want)
+		}
+	}
+}
+
 func TestDiffIdenticalEpochsEmpty(t *testing.T) {
 	f := deployedFabric(t)
 	c := New(f, 0)

@@ -54,6 +54,21 @@ func NewChecker() *Checker {
 	}
 }
 
+// Size returns the number of nodes in the checker's BDD manager — the
+// memory the checker has accumulated across checks. The manager never
+// frees nodes, so long-lived checkers (analysis sessions reusing one
+// checker per worker across runs) watch Size and Reset past a budget.
+func (c *Checker) Size() int { return c.m.Size() }
+
+// Reset discards the BDD manager and the memoized match encodings,
+// returning the checker to its freshly constructed state. Checks after a
+// Reset produce identical reports — only the amortized encoding work is
+// lost.
+func (c *Checker) Reset() {
+	c.m = bdd.NewManager(NumVars)
+	c.matchMem = make(map[rule.Match]bdd.Node, 1024)
+}
+
 // Report is the outcome of one L-T equivalence check.
 type Report struct {
 	// Equivalent is true when the logical and deployed rules enforce

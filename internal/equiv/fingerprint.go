@@ -1,0 +1,60 @@
+// Rule-set fingerprinting for incremental re-verification: a Session
+// caches each switch's equivalence report keyed by the fingerprints of the
+// logical and deployed rule lists, so an unchanged switch replays its
+// cached report instead of re-running the BDD check.
+
+package equiv
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"scout/internal/rule"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash of a rule list. The hash is
+// order-sensitive and covers every field that can influence a check report
+// — match, action, priority, and provenance — so two lists with equal
+// fingerprints produce identical Check output. Collisions are possible in
+// principle (64-bit hash) but need ~2^32 distinct rule sets per switch to
+// become likely; callers that cannot tolerate that keep the rule lists and
+// compare with rule.SlicesEqual instead.
+func Fingerprint(rules []rule.Rule) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:8], v)
+		h.Write(buf[:8])
+	}
+	u64(uint64(len(rules)))
+	for _, r := range rules {
+		m := r.Match
+		u32(uint32(m.VRF))
+		u32(uint32(m.SrcEPG))
+		u32(uint32(m.DstEPG))
+		var flags uint32
+		if m.WildcardVRF {
+			flags |= 1
+		}
+		if m.WildcardSrc {
+			flags |= 2
+		}
+		if m.WildcardDst {
+			flags |= 4
+		}
+		u32(flags<<16 | uint32(m.Proto))
+		u32(uint32(m.PortLo)<<16 | uint32(m.PortHi))
+		u32(uint32(r.Action))
+		u64(uint64(int64(r.Priority)))
+		u64(uint64(len(r.Provenance)))
+		for _, ref := range r.Provenance {
+			u32(uint32(ref.Kind))
+			u32(uint32(ref.ID))
+		}
+	}
+	return h.Sum64()
+}

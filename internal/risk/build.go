@@ -41,6 +41,18 @@ func BuildSwitchModel(d *compile.Deployment, sw object.ID) *Model {
 	return m
 }
 
+// BuildAnnotatedSwitchModel builds the switch risk model for sw and
+// augments it with the switch's missing rules in one step — the per-switch
+// unit of the analyzer's fold stage. It only reads the deployment (the
+// model under construction is unshared), so calls for distinct switches
+// are safe to run concurrently against the same deployment, which is what
+// lets the fold stage fan out alongside the equivalence checks.
+func BuildAnnotatedSwitchModel(d *compile.Deployment, sw object.ID, missing []rule.Rule) *Model {
+	m := BuildSwitchModel(d, sw)
+	AugmentSwitchModel(m, missing, d.Provenance)
+	return m
+}
+
 // ControllerModelOptions configures controller-model construction.
 type ControllerModelOptions struct {
 	// IncludeSwitchRisk adds each triplet's switch as a shared risk, so

@@ -178,6 +178,39 @@ func (r Rule) Clone() Rule {
 	return out
 }
 
+// Equal reports whether two rules are identical in every field that can
+// influence an equivalence check or a report: match, action, priority, and
+// provenance (elementwise, order-sensitive).
+func (r Rule) Equal(o Rule) bool {
+	if r.Match != o.Match || r.Action != o.Action || r.Priority != o.Priority {
+		return false
+	}
+	if len(r.Provenance) != len(o.Provenance) {
+		return false
+	}
+	for i, ref := range r.Provenance {
+		if ref != o.Provenance[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SlicesEqual reports whether two rule lists are elementwise Equal in the
+// same order. Rule lists are priority-ordered, so order sensitivity is the
+// same sensitivity the equivalence checker has.
+func SlicesEqual(a, b []Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // DefaultDeny returns the catch-all whitelist tail rule ("*,*,*,* -> deny")
 // with the lowest priority.
 func DefaultDeny() Rule {

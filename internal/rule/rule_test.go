@@ -9,6 +9,53 @@ import (
 	"scout/internal/object"
 )
 
+func TestRuleEqual(t *testing.T) {
+	base := Rule{
+		Match:      Match{VRF: 101, SrcEPG: 1, DstEPG: 2, Proto: ProtoTCP, PortLo: 80, PortHi: 80},
+		Action:     Allow,
+		Priority:   10,
+		Provenance: []object.Ref{object.Filter(5000), object.Contract(3000)},
+	}
+	if !base.Equal(base.Clone()) {
+		t.Fatal("clone must be Equal")
+	}
+	variants := []Rule{}
+	v := base.Clone()
+	v.Match.PortHi = 81
+	variants = append(variants, v)
+	v = base.Clone()
+	v.Action = Deny
+	variants = append(variants, v)
+	v = base.Clone()
+	v.Priority = 11
+	variants = append(variants, v)
+	v = base.Clone()
+	v.Provenance = v.Provenance[:1]
+	variants = append(variants, v)
+	v = base.Clone()
+	v.Provenance[0], v.Provenance[1] = v.Provenance[1], v.Provenance[0]
+	variants = append(variants, v)
+	for i, v := range variants {
+		if base.Equal(v) {
+			t.Errorf("variant %d must not be Equal", i)
+		}
+	}
+
+	a := []Rule{base, DefaultDeny()}
+	if !SlicesEqual(a, []Rule{base.Clone(), DefaultDeny()}) {
+		t.Error("equal slices reported unequal")
+	}
+	if SlicesEqual(a, a[:1]) {
+		t.Error("length mismatch reported equal")
+	}
+	if SlicesEqual(a, []Rule{DefaultDeny(), base}) {
+		t.Error("order must matter")
+	}
+	if !SlicesEqual(nil, []Rule{}) {
+		t.Error("nil and empty slices must be equal")
+	}
+}
+
 func TestActionString(t *testing.T) {
 	if Allow.String() != "allow" || Deny.String() != "deny" {
 		t.Error("action names wrong")

@@ -7,7 +7,40 @@ import (
 	"scout/internal/compile"
 	"scout/internal/object"
 	"scout/internal/risk"
+	"scout/internal/tcam"
 )
+
+// TestSmallFabricSpec pins the properties the dedicated small-deployment
+// spec exists for: it validates, it is denser per switch than the
+// testbed by an order of magnitude, and a clean deployment fits the
+// default leaf TCAM with headroom (so baselines start consistent,
+// unlike linearly shrunken production specs).
+func TestSmallFabricSpec(t *testing.T) {
+	spec := SmallFabricSpec()
+	for _, seed := range []int64{1, 2, 42} {
+		p, tp, err := Generate(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tp.NumSwitches() != spec.Switches {
+			t.Fatalf("seed %d: %d switches, want %d", seed, tp.NumSwitches(), spec.Switches)
+		}
+		d, err := compile.Compile(p, tp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pairsPerSwitch := float64(p.Stats().EPGPairs) / float64(spec.Switches)
+		if pairsPerSwitch < 80 {
+			t.Errorf("seed %d: %.0f EPG pairs per switch, want production-like density (>= 80)", seed, pairsPerSwitch)
+		}
+		for _, sw := range tp.Switches() {
+			if n := len(d.RulesFor(sw)); n > tcam.DefaultCapacity*4/5 {
+				t.Errorf("seed %d: switch %d compiles to %d rules, wants headroom under the %d-entry TCAM",
+					seed, sw, n, tcam.DefaultCapacity)
+			}
+		}
+	}
+}
 
 // smallSpec is a reduced production-like spec keeping tests fast.
 func smallSpec() Spec {

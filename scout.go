@@ -175,18 +175,14 @@ func (a *Analyzer) Analyze(f *fabric.Fabric) (*Report, error) {
 func (a *Analyzer) analyzeWithProbes(f *fabric.Fabric) (*Report, error) {
 	start := time.Now()
 	d := f.Deployment()
-	ctrlModel, oracle, rep := a.prepare(d, f.ChangeLog(), f.Now())
 	switches := sortSwitches(f.Topology().Switches())
 	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
-		return a.checkSwitch(f, c, sw)
+		return a.checkSwitch(f, d, c, sw)
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, sw := range switches {
-		a.accumulate(rep, ctrlModel, oracle, d, sw, reports[i])
-	}
-	a.finish(rep, ctrlModel, oracle, f.ChangeLog(), f.FaultLog())
+	rep := a.assemble(a.controllerModel(d), d, f.ChangeLog(), f.FaultLog(), f.Now(), switches, reports)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -198,42 +194,54 @@ func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
 	if st.Deployment == nil {
 		return nil, fmt.Errorf("scout: state has no deployment")
 	}
-	changes := st.Changes
-	if changes == nil {
-		changes = &ChangeLog{}
+	st = st.withDefaultLogs()
+	switches := st.sortedSwitches()
+	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+		return a.checkState(st, c, sw)
+	})
+	if err != nil {
+		return nil, err
 	}
-	faults := st.Faults
-	if faults == nil {
-		faults = &FaultLog{}
-	}
-	ctrlModel, oracle, rep := a.prepare(st.Deployment, changes, st.Now)
+	rep := a.assemble(a.controllerModel(st.Deployment), st.Deployment, st.Changes, st.Faults, st.Now, switches, reports)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
 
+// withDefaultLogs returns a copy of the state with nil logs replaced by
+// empty ones, so the pipeline never branches on their presence.
+func (st State) withDefaultLogs() State {
+	if st.Changes == nil {
+		st.Changes = &ChangeLog{}
+	}
+	if st.Faults == nil {
+		st.Faults = &FaultLog{}
+	}
+	return st
+}
+
+// sortedSwitches returns the collected switch IDs in ascending order, the
+// canonical fan-out and fold order.
+func (st State) sortedSwitches() []object.ID {
 	switches := make([]object.ID, 0, len(st.TCAM))
 	for sw := range st.TCAM {
 		switches = append(switches, sw)
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	return switches
+}
 
-	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
-		logical := st.Deployment.RulesFor(sw)
-		if a.opts.UseNaiveChecker {
-			return equiv.NaiveCheck(logical, st.TCAM[sw]), nil
-		}
-		checkRep, err := c.Check(logical, st.TCAM[sw])
-		if err != nil {
-			return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
-		}
-		return checkRep, nil
-	})
+// checkState computes one switch's equivalence report from collected
+// state with the configured checker (BDD or naive).
+func (a *Analyzer) checkState(st State, c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+	logical := st.Deployment.RulesFor(sw)
+	if a.opts.UseNaiveChecker {
+		return equiv.NaiveCheck(logical, st.TCAM[sw]), nil
+	}
+	checkRep, err := c.Check(logical, st.TCAM[sw])
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("scout: equivalence check switch %d: %w", sw, err)
 	}
-	for i, sw := range switches {
-		a.accumulate(rep, ctrlModel, oracle, st.Deployment, sw, reports[i])
-	}
-	a.finish(rep, ctrlModel, oracle, changes, faults)
-	rep.Elapsed = time.Since(start)
-	return rep, nil
+	return checkRep, nil
 }
 
 // checkFunc computes one switch's equivalence report. The checker argument
@@ -279,10 +287,20 @@ func (a *Analyzer) workers(n int) int {
 // reported may vary (successful analyses are deterministic, failures
 // are exceptional).
 func (a *Analyzer) checkAll(switches []object.ID, check checkFunc) ([]*equiv.Report, error) {
+	return a.checkAllWith(switches, func(int) *equiv.Checker { return a.newWorkerChecker() }, check)
+}
+
+// checkAllWith is checkAll with caller-provided worker checkers:
+// checker(k) returns worker k's private checker (a Session passes its
+// persistent pool so memoized match encodings survive across runs; the
+// one-shot analyzer builds fresh ones). Which worker checks which switch
+// is scheduling-dependent, which is safe because checker state never
+// influences check results, only their cost.
+func (a *Analyzer) checkAllWith(switches []object.ID, checker func(worker int) *equiv.Checker, check checkFunc) ([]*equiv.Report, error) {
 	reports := make([]*equiv.Report, len(switches))
 	w := a.workers(len(switches))
 	if w <= 1 {
-		c := a.newWorkerChecker()
+		c := checker(0)
 		for i, sw := range switches {
 			rep, err := check(c, sw)
 			if err != nil {
@@ -301,9 +319,9 @@ func (a *Analyzer) checkAll(switches []object.ID, check checkFunc) ([]*equiv.Rep
 	errs := make([]error, len(switches))
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
-			c := a.newWorkerChecker()
+			c := checker(k)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(switches) || failed.Load() {
@@ -317,7 +335,7 @@ func (a *Analyzer) checkAll(switches []object.ID, check checkFunc) ([]*equiv.Rep
 				}
 				reports[i] = rep
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -328,6 +346,39 @@ func (a *Analyzer) checkAll(switches []object.ID, check checkFunc) ([]*equiv.Rep
 	return reports, nil
 }
 
+// forEach runs fn(i) for every i in [0, n) over the configured worker
+// pool. It is the fan-out primitive for pipeline stages whose per-switch
+// work is independent and infallible (the fold's risk-model builds);
+// callers write results into index-addressed slices so output order never
+// depends on scheduling.
+func (a *Analyzer) forEach(n int, fn func(i int)) {
+	w := a.workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // sortSwitches returns a sorted copy of the switch IDs, the canonical
 // fan-out and fold order.
 func sortSwitches(switches []object.ID) []object.ID {
@@ -336,21 +387,61 @@ func sortSwitches(switches []object.ID) []object.ID {
 	return out
 }
 
-// prepare builds the shared analysis state.
-func (a *Analyzer) prepare(d *Deployment, changes *ChangeLog, now time.Time) (*risk.Model, localize.ChangeLogOracle, *Report) {
+// controllerModel builds the fabric-wide controller risk model for the
+// deployment per the analyzer's options. The build is deterministic, so a
+// Session may cache the result per deployment and hand assemble a clone.
+func (a *Analyzer) controllerModel(d *Deployment) *risk.Model {
 	includeSwitch := true
 	if a.opts.IncludeSwitchRisk != nil {
 		includeSwitch = *a.opts.IncludeSwitchRisk
 	}
-	ctrlModel := risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: includeSwitch})
-	oracle := localize.ChangeLogOracle{Log: changes, Since: now.Add(-a.opts.ChangeWindow)}
-	return ctrlModel, oracle, &Report{Consistent: true}
+	return risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: includeSwitch})
 }
 
-// accumulate folds one switch's check result into the report and the
-// controller model.
-func (a *Analyzer) accumulate(rep *Report, ctrlModel *risk.Model, oracle localize.ChangeLogOracle,
-	d *Deployment, sw object.ID, checkRep *equiv.Report) {
+// oracle builds the change-log oracle anchored at now.
+func (a *Analyzer) oracle(changes *ChangeLog, now time.Time) localize.ChangeLogOracle {
+	return localize.ChangeLogOracle{Log: changes, Since: now.Add(-a.opts.ChangeWindow)}
+}
+
+// assemble runs the pipeline stages downstream of the check stage. The
+// per-switch residue — risk-model build plus localization for every
+// inequivalent switch — fans out over the worker pool (the models are
+// independent and only read the shared deployment); then the serial fold
+// walks the switches in ascending ID order to count missing rules and
+// augment the controller model, and the global localization/correlation
+// pass finishes the report. switches must be sorted ascending and aligned
+// with checkReps. ctrlModel is consumed (augmented in place).
+func (a *Analyzer) assemble(ctrlModel *risk.Model, d *Deployment, changes *ChangeLog, faults *FaultLog,
+	now time.Time, switches []object.ID, checkReps []*equiv.Report) *Report {
+	oracle := a.oracle(changes, now)
+
+	srs := make([]SwitchReport, len(switches))
+	a.forEach(len(switches), func(i int) {
+		srs[i] = a.buildSwitchReport(d, oracle, switches[i], checkReps[i])
+	})
+
+	rep := &Report{Consistent: true, Switches: srs}
+	for i := range srs {
+		if srs[i].Equivalent {
+			continue
+		}
+		rep.Consistent = false
+		rep.TotalMissing += len(srs[i].MissingRules)
+		risk.AugmentControllerModel(ctrlModel, srs[i].Switch, srs[i].MissingRules, d.Provenance)
+	}
+	if !rep.Consistent {
+		rep.Controller = localize.Scout(ctrlModel, oracle)
+		rep.Hypothesis = rep.Controller.Hypothesis
+		rep.RootCauses = a.engine.Correlate(rep.Hypothesis, changes, faults)
+	}
+	return rep
+}
+
+// buildSwitchReport assembles one switch's report from its check result,
+// running the switch-model localization when the switch is inequivalent.
+// It only reads shared state, so reports for distinct switches build
+// concurrently.
+func (a *Analyzer) buildSwitchReport(d *Deployment, oracle localize.ChangeOracle, sw object.ID, checkRep *equiv.Report) SwitchReport {
 	sr := SwitchReport{
 		Switch:       sw,
 		Equivalent:   checkRep.Equivalent,
@@ -358,34 +449,17 @@ func (a *Analyzer) accumulate(rep *Report, ctrlModel *risk.Model, oracle localiz
 		ExtraRules:   checkRep.ExtraRules,
 	}
 	if !checkRep.Equivalent {
-		rep.Consistent = false
-		rep.TotalMissing += len(checkRep.MissingRules)
-
-		swModel := risk.BuildSwitchModel(d, sw)
-		risk.AugmentSwitchModel(swModel, checkRep.MissingRules, d.Provenance)
+		swModel := risk.BuildAnnotatedSwitchModel(d, sw, checkRep.MissingRules)
 		sr.Result = localize.Scout(swModel, oracle)
-
-		risk.AugmentControllerModel(ctrlModel, sw, checkRep.MissingRules, d.Provenance)
 	}
-	rep.Switches = append(rep.Switches, sr)
-}
-
-// finish runs the global localization and correlation passes.
-func (a *Analyzer) finish(rep *Report, ctrlModel *risk.Model, oracle localize.ChangeLogOracle,
-	changes *ChangeLog, faults *FaultLog) {
-	sort.Slice(rep.Switches, func(i, j int) bool { return rep.Switches[i].Switch < rep.Switches[j].Switch })
-	if !rep.Consistent {
-		rep.Controller = localize.Scout(ctrlModel, oracle)
-		rep.Hypothesis = rep.Controller.Hypothesis
-		rep.RootCauses = a.engine.Correlate(rep.Hypothesis, changes, faults)
-	}
+	return sr
 }
 
 // checkSwitch produces the missing/extra-rule report for one switch using
 // the configured observation source (BDD checker, naive differ, or
-// dataplane probes).
-func (a *Analyzer) checkSwitch(f *fabric.Fabric, checker *equiv.Checker, sw object.ID) (*equiv.Report, error) {
-	d := f.Deployment()
+// dataplane probes). The deployment is passed in so the hot per-switch
+// path never re-fetches it.
+func (a *Analyzer) checkSwitch(f *fabric.Fabric, d *Deployment, checker *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 	if a.opts.UseProbes {
 		s, err := f.Switch(sw)
 		if err != nil {
@@ -421,23 +495,12 @@ func (a *Analyzer) AnalyzeSwitch(f *fabric.Fabric, sw object.ID) (*SwitchReport,
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
 	}
-	checkRep, err := a.checkSwitch(f, a.newWorkerChecker(), sw)
+	checkRep, err := a.checkSwitch(f, d, a.newWorkerChecker(), sw)
 	if err != nil {
 		return nil, err
 	}
-	sr := &SwitchReport{
-		Switch:       sw,
-		Equivalent:   checkRep.Equivalent,
-		MissingRules: checkRep.MissingRules,
-		ExtraRules:   checkRep.ExtraRules,
-	}
-	if !checkRep.Equivalent {
-		model := risk.BuildSwitchModel(d, sw)
-		risk.AugmentSwitchModel(model, checkRep.MissingRules, d.Provenance)
-		oracle := localize.ChangeLogOracle{Log: f.ChangeLog(), Since: f.Now().Add(-a.opts.ChangeWindow)}
-		sr.Result = localize.Scout(model, oracle)
-	}
-	return sr, nil
+	sr := a.buildSwitchReport(d, a.oracle(f.ChangeLog(), f.Now()), sw, checkRep)
+	return &sr, nil
 }
 
 // MarshalJSON serializes the report (for dashboards and tooling).

@@ -1,0 +1,325 @@
+package scout
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scout/internal/collect"
+	"scout/internal/compile"
+	"scout/internal/equiv"
+	"scout/internal/fabric"
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// sessionCheckerNodeBudget bounds how many BDD nodes a session worker
+// checker may accumulate before its manager is rebuilt. Long-lived
+// checkers never free nodes, so without a budget a session watching a
+// churning fabric would grow without bound; resetting only costs the
+// amortized encoding work.
+const sessionCheckerNodeBudget = 4 << 20
+
+// Session is a persistent analysis engine over one fabric — the
+// continuous-verification mode of §III-C, where TCAM state is collected
+// periodically and re-checked after every change. Unlike the one-shot
+// Analyzer, a Session keeps per-switch check state between runs: the
+// fingerprints of each switch's logical and TCAM rules, the cached
+// equivalence report, and the worker checkers' memoized BDD encodings.
+// A re-analysis therefore re-checks only the switches whose rules
+// actually changed and replays cached reports for the rest, while
+// producing a report byte-identical to a cold full Analyze at any worker
+// count (the fold stages are unchanged and order-deterministic).
+//
+// Use a Session when the same fabric is analyzed repeatedly (watch loops,
+// collectors feeding epochs); use Analyzer for one-off analyses. Rule
+// state handed to a Session (deployments, epoch TCAM snapshots) must not
+// be mutated afterwards — the session compares against it by fingerprint.
+//
+// A Session serializes its runs internally and is safe for concurrent
+// use, though runs themselves parallelize per the configured Workers.
+type Session struct {
+	mu sync.Mutex
+	a  *Analyzer
+	f  *fabric.Fabric
+
+	// checkers are the persistent per-worker BDD checkers; entry k is
+	// owned by worker k of the current run only, so memoized match
+	// encodings amortize across every run of the session.
+	checkers []*equiv.Checker
+
+	// cache holds the newest check outcome per switch.
+	cache map[object.ID]*switchCheckState
+
+	// lastDeployment keys the pristine controller-model cache: compiled
+	// deployments are immutable, so pointer identity means the model (and
+	// every logical rule set) is unchanged.
+	lastDeployment *compile.Deployment
+	ctrlPristine   *risk.Model
+
+	// lastEpoch is the epoch of the immediately preceding successful
+	// AnalyzeEpoch run, nil after any other (or failed) run. It gates the
+	// epoch-diff fast path: a switch unchanged between lastEpoch and the
+	// next epoch can skip even fingerprint hashing.
+	lastEpoch *collect.Epoch
+
+	stats SessionStats
+}
+
+// switchCheckState is one switch's cached check outcome: the report and
+// the fingerprints of the exact rule lists it was computed from.
+type switchCheckState struct {
+	// dep is the deployment the logical fingerprint was computed under;
+	// pointer equality lets an unchanged deployment skip re-hashing.
+	dep       *compile.Deployment
+	logicalFP uint64
+	tcamFP    uint64
+	report    *equiv.Report
+}
+
+// SessionStats counts a session's cache behaviour across runs, the
+// observability hook for incremental re-verification (and the assertion
+// surface for its tests).
+type SessionStats struct {
+	// Runs counts completed analyses.
+	Runs int
+	// Checked counts switches whose equivalence was re-checked (cache
+	// misses: changed rules, invalidations, or first sight).
+	Checked int
+	// Replayed counts switches whose cached report was replayed without
+	// re-checking.
+	Replayed int
+	// CheckerResets counts worker checkers rebuilt after exceeding the
+	// node budget.
+	CheckerResets int
+}
+
+// NewSession creates a persistent analysis session over the fabric. The
+// options are the Analyzer's; UseProbes is rejected because probe
+// observations sample the live dataplane and leave no rule state to
+// fingerprint or replay.
+func NewSession(f *fabric.Fabric, opts ...AnalyzerOptions) (*Session, error) {
+	a := NewAnalyzer(opts...)
+	if a.opts.UseProbes {
+		return nil, fmt.Errorf("scout: sessions require TCAM observations; use Analyzer for probe mode")
+	}
+	return &Session{
+		a:     a,
+		f:     f,
+		cache: make(map[object.ID]*switchCheckState),
+	}, nil
+}
+
+// Analyze collects the fabric's current state and analyzes it,
+// re-checking only switches whose logical or TCAM rules changed since the
+// session's previous run.
+func (s *Session) Analyze() (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.f.Deployment()
+	if d == nil {
+		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	return s.analyzeLocked(State{
+		Deployment: d,
+		TCAM:       s.f.CollectAll(),
+		Changes:    s.f.ChangeLog(),
+		Faults:     s.f.FaultLog(),
+		Now:        s.f.Now(),
+	}, nil)
+}
+
+// AnalyzeEpoch analyzes one collector epoch against the fabric's current
+// deployment, anchored at the epoch's collection time — the delta
+// re-verification path for periodic collection. When the session's
+// previous run analyzed an earlier epoch, the epoch diff marks the dirty
+// switches directly and clean switches skip fingerprinting entirely.
+func (s *Session) AnalyzeEpoch(e *Epoch) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.f.Deployment()
+	if d == nil {
+		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	var cleanTCAM map[object.ID]bool
+	if s.lastEpoch != nil {
+		cleanTCAM = make(map[object.ID]bool, len(e.TCAM))
+		for sw := range e.TCAM {
+			cleanTCAM[sw] = true
+		}
+		for _, sw := range collect.DirtySwitches(s.lastEpoch, e) {
+			delete(cleanTCAM, sw)
+		}
+	}
+	rep, err := s.analyzeLocked(State{
+		Deployment: d,
+		TCAM:       e.TCAM,
+		Changes:    s.f.ChangeLog(),
+		Faults:     s.f.FaultLog(),
+		Now:        e.Time,
+	}, cleanTCAM)
+	if err != nil {
+		return nil, err
+	}
+	s.lastEpoch = e
+	return rep, nil
+}
+
+// AnalyzeState analyzes raw collected state incrementally (production
+// users populating State themselves). The deployment and TCAM slices must
+// not be mutated after the call.
+func (s *Session) AnalyzeState(st State) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.Deployment == nil {
+		return nil, fmt.Errorf("scout: state has no deployment")
+	}
+	return s.analyzeLocked(st, nil)
+}
+
+// Invalidate drops the cached check state of the given switches — or of
+// every switch when none are given — forcing their re-check on the next
+// run. Use it when out-of-band knowledge (a device RMA, a firmware
+// upgrade) makes cached verdicts suspect.
+func (s *Session) Invalidate(switches ...ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastEpoch = nil
+	if len(switches) == 0 {
+		s.cache = make(map[object.ID]*switchCheckState)
+		return
+	}
+	for _, sw := range switches {
+		delete(s.cache, sw)
+	}
+}
+
+// Reset drops every piece of cached state — per-switch reports, the
+// controller-model cache, and the worker checkers — returning the session
+// to cold. Statistics are preserved.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = make(map[object.ID]*switchCheckState)
+	s.checkers = nil
+	s.lastDeployment = nil
+	s.ctrlPristine = nil
+	s.lastEpoch = nil
+}
+
+// Stats returns the session's cumulative cache statistics.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// analyzeLocked is the incremental pipeline. cleanTCAM, when non-nil,
+// names switches whose TCAM rules are known-identical to the session's
+// previous run (from an epoch diff); their fingerprints are trusted from
+// cache. Every run ends byte-identical to a cold Analyzer run on the same
+// State: caching only ever short-circuits the check stage, never the
+// folds.
+func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report, error) {
+	start := time.Now()
+	// Until this run completes, epoch-diff hints would compare against
+	// state older than what the cache entries reflect.
+	s.lastEpoch = nil
+	st = st.withDefaultLogs()
+	switches := st.sortedSwitches()
+
+	ctrlModel := s.controllerModelLocked(st.Deployment)
+
+	// Partition the switches into replays and re-checks.
+	checkReps := make([]*equiv.Report, len(switches))
+	logFPs := make([]uint64, len(switches))
+	tcamFPs := make([]uint64, len(switches))
+	var dirty []object.ID
+	var dirtyIdx []int
+	for i, sw := range switches {
+		ent := s.cache[sw]
+		if ent != nil && ent.dep == st.Deployment {
+			logFPs[i] = ent.logicalFP
+		} else {
+			logFPs[i] = equiv.Fingerprint(st.Deployment.RulesFor(sw))
+		}
+		if ent != nil && cleanTCAM != nil && cleanTCAM[sw] {
+			tcamFPs[i] = ent.tcamFP
+		} else {
+			tcamFPs[i] = equiv.Fingerprint(st.TCAM[sw])
+		}
+		if ent == nil || logFPs[i] != ent.logicalFP || tcamFPs[i] != ent.tcamFP {
+			dirty = append(dirty, sw)
+			dirtyIdx = append(dirtyIdx, i)
+			continue
+		}
+		ent.dep = st.Deployment // refresh identity for the next run's shortcut
+		checkReps[i] = ent.report
+	}
+
+	if len(dirty) > 0 {
+		s.provisionCheckersLocked(s.a.workers(len(dirty)))
+		fresh, err := s.a.checkAllWith(dirty, s.workerChecker, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+			return s.a.checkState(st, c, sw)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range dirtyIdx {
+			checkReps[i] = fresh[j]
+			s.cache[switches[i]] = &switchCheckState{
+				dep:       st.Deployment,
+				logicalFP: logFPs[i],
+				tcamFP:    tcamFPs[i],
+				report:    fresh[j],
+			}
+		}
+	}
+
+	rep := s.a.assemble(ctrlModel, st.Deployment, st.Changes, st.Faults, st.Now, switches, checkReps)
+	rep.Elapsed = time.Since(start)
+	s.stats.Runs++
+	s.stats.Checked += len(dirty)
+	s.stats.Replayed += len(switches) - len(dirty)
+	return rep, nil
+}
+
+// controllerModelLocked returns a fresh working controller model:
+// a clone of the cached pristine model while the deployment is unchanged,
+// a new build (cached for next time) otherwise. Cloning preserves element
+// and risk IDs, so localization on a clone is indistinguishable from a
+// cold build.
+func (s *Session) controllerModelLocked(d *compile.Deployment) *risk.Model {
+	if s.ctrlPristine == nil || d != s.lastDeployment {
+		s.ctrlPristine = s.a.controllerModel(d)
+		s.lastDeployment = d
+	}
+	return s.ctrlPristine.Clone()
+}
+
+// provisionCheckersLocked grows the persistent checker pool to n entries
+// and rebuilds any that exceeded the node budget, before the worker pool
+// starts (workers must never mutate the slice concurrently).
+func (s *Session) provisionCheckersLocked(n int) {
+	if s.a.opts.UseNaiveChecker {
+		return
+	}
+	for len(s.checkers) < n {
+		s.checkers = append(s.checkers, equiv.NewChecker())
+	}
+	for _, c := range s.checkers[:n] {
+		if c.Size() > sessionCheckerNodeBudget {
+			c.Reset()
+			s.stats.CheckerResets++
+		}
+	}
+}
+
+// workerChecker hands worker k its persistent checker (nil in naive mode,
+// which never touches it).
+func (s *Session) workerChecker(k int) *equiv.Checker {
+	if s.a.opts.UseNaiveChecker {
+		return nil
+	}
+	return s.checkers[k]
+}

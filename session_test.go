@@ -1,0 +1,273 @@
+package scout_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"scout"
+)
+
+// marshalReport serializes a report with the wall-clock field zeroed so
+// byte comparison sees only pipeline output.
+func marshalReport(t testing.TB, rep *scout.Report) []byte {
+	t.Helper()
+	rep.Elapsed = 0
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// stateFromEpoch reconstructs the exact State a session run on the epoch
+// analyzes, for cold-analyzer comparison.
+func stateFromEpoch(f *scout.Fabric, e *scout.Epoch) scout.State {
+	return scout.State{
+		Deployment: f.Deployment(),
+		TCAM:       e.TCAM,
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        e.Time,
+	}
+}
+
+// removeOneRule deletes the highest-priority TCAM rule of sw (an allow
+// rule on whitelist fabrics, so the switch becomes inequivalent) and
+// returns it.
+func removeOneRule(t *testing.T, f *scout.Fabric, sw scout.ObjectID) scout.Rule {
+	t.Helper()
+	rules, err := f.CollectTCAM(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatalf("switch %d has an empty TCAM", sw)
+	}
+	s, err := f.Switch(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.TCAM().Remove(rules[0].Key()) {
+		t.Fatalf("switch %d: failed to remove %s", sw, rules[0])
+	}
+	return rules[0]
+}
+
+// TestSessionIncrementalSingleSwitch is the regression test for the
+// incremental session: a warm re-analysis after mutating one switch's
+// rules must re-check only that switch and produce a report
+// byte-identical to a cold full analysis, at every worker count.
+func TestSessionIncrementalSingleSwitch(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		f := faultyFabric(t, 7)
+		opts := scout.AnalyzerOptions{Workers: workers}
+		sess, err := scout.NewSession(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collector := scout.NewCollector(f, 8)
+		numSwitches := f.Topology().NumSwitches()
+
+		// Cold session run: every switch is checked.
+		e1 := collector.Snapshot()
+		warm1, err := sess.AnalyzeEpoch(e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := sess.Stats(); st.Checked != numSwitches || st.Replayed != 0 {
+			t.Fatalf("workers=%d cold run stats = %+v, want %d checked", workers, st, numSwitches)
+		}
+		cold1, err := scout.NewAnalyzer(opts).AnalyzeState(stateFromEpoch(f, e1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm1), marshalReport(t, cold1)) {
+			t.Errorf("workers=%d: cold session report differs from analyzer", workers)
+		}
+
+		// Mutate exactly one switch, then re-analyze the next epoch.
+		dirtySw := f.Topology().Switches()[1]
+		removeOneRule(t, f, dirtySw)
+		before := sess.Stats()
+		e2 := collector.Snapshot()
+		warm2, err := sess.AnalyzeEpoch(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := sess.Stats()
+		if got := after.Checked - before.Checked; got != 1 {
+			t.Errorf("workers=%d: warm run re-checked %d switches, want 1", workers, got)
+		}
+		if got := after.Replayed - before.Replayed; got != numSwitches-1 {
+			t.Errorf("workers=%d: warm run replayed %d switches, want %d", workers, got, numSwitches-1)
+		}
+		cold2, err := scout.NewAnalyzer(opts).AnalyzeState(stateFromEpoch(f, e2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm2), marshalReport(t, cold2)) {
+			t.Errorf("workers=%d: warm delta report differs from cold analyzer", workers)
+		}
+
+		// No-change epoch: nothing is re-checked and the report repeats.
+		e3 := collector.Snapshot()
+		warm3, err := sess.AnalyzeEpoch(e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sess.Stats().Checked - after.Checked; got != 0 {
+			t.Errorf("workers=%d: no-change run re-checked %d switches", workers, got)
+		}
+		if !bytes.Equal(marshalReport(t, warm3), marshalReport(t, warm2)) {
+			t.Errorf("workers=%d: no-change report differs from previous run", workers)
+		}
+	}
+}
+
+// TestSessionLogicalInvalidation covers the deployment side of dirtiness:
+// a policy change recompiles the deployment, and the session re-checks the
+// switches whose logical rules changed while still matching a cold run.
+func TestSessionLogicalInvalidation(t *testing.T) {
+	f := faultyFabric(t, 19)
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := f.Policy()
+	if err := f.AddFilter(scout.Filter{ID: 64123, Name: "rollout", Entries: []scout.FilterEntry{
+		scout.PortEntry(scout.ProtoTCP, 64123),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilterToContract(pol.Bindings[0].Contract, 64123); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sess.Stats()
+	warm, err := sess.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := sess.Stats().Checked - before.Checked
+	if delta == 0 {
+		t.Error("policy change dirtied no switches")
+	}
+	cold, err := scout.NewAnalyzer().Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, warm), marshalReport(t, cold)) {
+		t.Error("post-change session report differs from cold analyzer")
+	}
+}
+
+// TestSessionInvalidate covers manual invalidation: per-switch, full, and
+// the Reset that also drops the checker pool.
+func TestSessionInvalidate(t *testing.T) {
+	f := faultyFabric(t, 23)
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	n := f.Topology().NumSwitches()
+	sw := f.Topology().Switches()[0]
+
+	run := func() int {
+		t.Helper()
+		before := sess.Stats().Checked
+		if _, err := sess.Analyze(); err != nil {
+			t.Fatal(err)
+		}
+		return sess.Stats().Checked - before
+	}
+
+	if got := run(); got != 0 {
+		t.Errorf("steady-state run re-checked %d switches", got)
+	}
+	sess.Invalidate(sw)
+	if got := run(); got != 1 {
+		t.Errorf("after Invalidate(one): re-checked %d switches, want 1", got)
+	}
+	sess.Invalidate()
+	if got := run(); got != n {
+		t.Errorf("after Invalidate(): re-checked %d switches, want %d", got, n)
+	}
+	sess.Reset()
+	if got := run(); got != n {
+		t.Errorf("after Reset: re-checked %d switches, want %d", got, n)
+	}
+}
+
+// TestSessionNaiveChecker exercises the session through the ablation
+// checker path (no BDD checkers to provision or reuse).
+func TestSessionNaiveChecker(t *testing.T) {
+	f := faultyFabric(t, 13)
+	opts := scout.AnalyzerOptions{UseNaiveChecker: true, Workers: 4}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm1, err := sess.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := sess.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Stats().Checked; got != f.Topology().NumSwitches() {
+		t.Errorf("second naive run re-checked switches: total checked %d", got)
+	}
+	cold, err := scout.NewAnalyzer(opts).Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON := marshalReport(t, cold)
+	if !bytes.Equal(marshalReport(t, warm1), coldJSON) || !bytes.Equal(marshalReport(t, warm2), coldJSON) {
+		t.Error("naive session reports differ from cold analyzer")
+	}
+}
+
+// TestSessionRejectsProbes pins the mode restriction: probe observations
+// leave no rule state to fingerprint.
+func TestSessionRejectsProbes(t *testing.T) {
+	f := faultyFabric(t, 3)
+	if _, err := scout.NewSession(f, scout.AnalyzerOptions{UseProbes: true}); err == nil {
+		t.Fatal("NewSession must reject UseProbes")
+	}
+}
+
+// TestSessionRequiresDeploy mirrors the analyzer's undeployed-fabric
+// error on both session entry points.
+func TestSessionRequiresDeploy(t *testing.T) {
+	pol, topo, err := scout.GenerateWorkload(scout.TestbedWorkloadSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err == nil {
+		t.Error("Analyze before Deploy must fail")
+	}
+	if _, err := sess.AnalyzeEpoch(scout.NewCollector(f, 0).Snapshot()); err == nil {
+		t.Error("AnalyzeEpoch before Deploy must fail")
+	}
+	if _, err := sess.AnalyzeState(scout.State{}); err == nil {
+		t.Error("AnalyzeState without deployment must fail")
+	}
+}
