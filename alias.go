@@ -169,6 +169,15 @@ const (
 type (
 	// RiskModel is a bipartite shared-risk model.
 	RiskModel = risk.Model
+	// RiskView is the read interface over an annotated risk model; a
+	// mutable model and a copy-on-write overlay are interchangeable
+	// behind it.
+	RiskView = risk.View
+	// RiskMarker is a RiskView that accepts failure annotation.
+	RiskMarker = risk.Marker
+	// RiskOverlay is a copy-on-write failure overlay over an immutable
+	// pristine risk model.
+	RiskOverlay = risk.Overlay
 	// ControllerModelOptions configures controller-model construction.
 	ControllerModelOptions = risk.ControllerModelOptions
 	// Deployment is the compiled per-switch logical rule set.
@@ -188,6 +197,15 @@ var (
 	BuildSwitchRiskModel = risk.BuildSwitchModel
 	// BuildControllerRiskModel builds the fabric-wide risk model.
 	BuildControllerRiskModel = risk.BuildControllerModel
+	// BuildControllerRiskModelParallel builds the fabric-wide risk model
+	// sharded by switch over a worker pool, with a deterministic
+	// ascending-switch-ID merge (identical output at any worker count).
+	BuildControllerRiskModelParallel = risk.BuildControllerModelParallel
+	// NewRiskOverlay stacks a fresh copy-on-write failure overlay on a
+	// pristine risk model (which must not be mutated afterwards).
+	NewRiskOverlay = risk.NewOverlay
+	// WriteRiskDOT renders any risk view as a Graphviz digraph.
+	WriteRiskDOT = risk.WriteDOT
 	// AugmentSwitchRiskModel marks failures from missing rules in a
 	// switch risk model.
 	AugmentSwitchRiskModel = risk.AugmentSwitchModel

@@ -440,3 +440,44 @@ func reportHeadline(b *testing.B, res *eval.AccuracyResult) {
 		b.ReportMetric(score.MeanRecall(), "score1-recall")
 	}
 }
+
+// BenchmarkWarmSetupOverlayVsClone measures the per-run setup cost a warm
+// session pays before localization: the historical deep Model.Clone() of
+// the cached pristine controller model (O(model size)) against stacking a
+// copy-on-write overlay (O(1); marks are then O(dirty failures)).
+func BenchmarkWarmSetupOverlayVsClone(b *testing.B) {
+	env := benchEnv(b)
+	pristine := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
+	b.Run("clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pristine.Clone().NumElements() == 0 {
+				b.Fatal("empty clone")
+			}
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if risk.NewOverlay(pristine).NumElements() == 0 {
+				b.Fatal("empty overlay")
+			}
+		}
+	})
+}
+
+// BenchmarkControllerModelBuildWorkers measures the sharded
+// controller-model build at varying worker counts (the speedup is bounded
+// by GOMAXPROCS; at one core the sharded runs only pay the merge pass).
+func BenchmarkControllerModelBuildWorkers(b *testing.B) {
+	env := benchEnv(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := risk.BuildControllerModelParallel(env.Deployment,
+					risk.ControllerModelOptions{IncludeSwitchRisk: true}, workers)
+				if m.NumElements() == 0 {
+					b.Fatal("empty model")
+				}
+			}
+		})
+	}
+}

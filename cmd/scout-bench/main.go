@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -25,6 +27,8 @@ import (
 
 	"scout"
 	"scout/internal/eval"
+	"scout/internal/localize"
+	"scout/internal/risk"
 	"scout/internal/workload"
 )
 
@@ -42,7 +46,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -210,6 +214,94 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 	}
+
+	if want("overlay") {
+		fmt.Fprintln(w, "== Immutable risk core: sharded build + copy-on-write overlays vs clone ==")
+		if err := runOverlay(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOverlay measures the two costs the immutable-core refactor removes
+// from the warm loop: (a) per-run setup — a copy-on-write overlay over
+// the cached pristine controller model vs the deep Model.Clone() warm
+// sessions used to pay, which scales with model size; and (b) the cold
+// controller-model build — serial vs sharded by switch across workers.
+// Both paths must be observationally identical; the sharded build is
+// verified deeply equal to the serial one and the overlay is verified to
+// localize a fault scenario exactly like an annotated clone.
+func runOverlay(cfg config, w io.Writer) error {
+	env, err := eval.NewEnv(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opts := risk.ControllerModelOptions{IncludeSwitchRisk: true}
+
+	// (b) Cold build: serial vs sharded.
+	buildTime := func(workers int) (*risk.Model, time.Duration) {
+		start := time.Now()
+		m := risk.BuildControllerModelParallel(env.Deployment, opts, workers)
+		return m, time.Since(start)
+	}
+	serial, serialBuild := buildTime(1)
+	sharded, shardedBuild := buildTime(workers)
+	fmt.Fprintf(w, "controller model (scale=%.2f): %d switches, %d elements, %d risks, %d edges\n",
+		cfg.scale, env.Topo.NumSwitches(), serial.NumElements(), serial.NumRisks(), serial.NumEdges())
+	fmt.Fprintf(w, "cold build serial  (workers=1):  %v\n", serialBuild.Round(time.Microsecond))
+	fmt.Fprintf(w, "cold build sharded (workers=%d): %v\n", workers, shardedBuild.Round(time.Microsecond))
+	if shardedBuild > 0 {
+		fmt.Fprintf(w, "build speedup: %.2fx (bounded by GOMAXPROCS=%d)\n",
+			float64(serialBuild)/float64(shardedBuild), runtime.GOMAXPROCS(0))
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		return fmt.Errorf("sharded build differs from serial (determinism violation)")
+	}
+	fmt.Fprintln(w, "sharded build identical to serial: true")
+
+	// (a) Warm-run setup: Clone() is O(model size), an overlay is O(1)
+	// regardless of model size.
+	const reps = 20
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		_ = serial.Clone()
+	}
+	clonePer := time.Since(start) / reps
+	start = time.Now()
+	var lastOverlay *risk.Overlay
+	for i := 0; i < reps; i++ {
+		lastOverlay = risk.NewOverlay(serial)
+	}
+	overlayPer := time.Since(start) / reps
+	fmt.Fprintf(w, "\nwarm-run setup, avg of %d: clone %v vs overlay %v",
+		reps, clonePer.Round(time.Nanosecond), overlayPer.Round(time.Nanosecond))
+	if overlayPer > 0 {
+		fmt.Fprintf(w, " (%.0fx)", float64(clonePer)/float64(overlayPer))
+	}
+	fmt.Fprintln(w)
+
+	// Interchangeability on a real fault scenario: identical hypotheses.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	sc, err := workload.NewScenario(rng, env.Index.Objects(), 5, cfg.noise)
+	if err != nil {
+		return err
+	}
+	clone := serial.Clone()
+	workload.ApplyToControllerModel(clone, env.Deployment, env.Index, sc, rand.New(rand.NewSource(cfg.seed+1)))
+	workload.ApplyToControllerModel(lastOverlay, env.Deployment, env.Index, sc, rand.New(rand.NewSource(cfg.seed+1)))
+	cRes := localize.Scout(clone, localize.SetOracle(sc.Changed))
+	oRes := localize.Scout(lastOverlay, localize.SetOracle(sc.Changed))
+	if !reflect.DeepEqual(cRes, oRes) {
+		return fmt.Errorf("overlay localization differs from clone (interchangeability violation)")
+	}
+	fmt.Fprintf(w, "5-fault scenario: %d observations, hypothesis %d objects, gamma %.4f\n",
+		cRes.Explained+len(cRes.Unexplained), len(oRes.Hypothesis), oRes.Gamma(lastOverlay))
+	fmt.Fprintln(w, "overlay localization identical to clone: true")
 	return nil
 }
 

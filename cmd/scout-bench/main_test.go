@@ -77,3 +77,24 @@ func TestRunRejectsUnknownList(t *testing.T) {
 		t.Error("malformed -switches must error")
 	}
 }
+
+// TestRunOverlaySmoke runs the immutable-core experiment on a tiny
+// workload: sharded-vs-serial build identity, overlay-vs-clone setup
+// cost, and the overlay/clone localization interchangeability contract.
+func TestRunOverlaySmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "overlay", scale: 0.05, seed: 3, workers: 2, noise: 3}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"cold build serial", "cold build sharded", "build speedup",
+		"sharded build identical to serial: true",
+		"clone", "overlay",
+		"overlay localization identical to clone: true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

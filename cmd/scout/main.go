@@ -173,6 +173,11 @@ func emitReport(report *scout.Report, jsonOut, verbose bool) error {
 	fmt.Println()
 	fmt.Print(report.Summary())
 	if verbose {
+		if report.ControllerView != nil {
+			// Overlay-aware: warm session runs back the view with a
+			// copy-on-write overlay whose counts include its own marks.
+			fmt.Printf("\ncontroller risk view: %s\n", report.ControllerView)
+		}
 		fmt.Println("\nper-switch details:")
 		for _, sr := range report.Switches {
 			status := "consistent"

@@ -114,6 +114,10 @@ func run() error {
 	fmt.Printf("\ndelta re-verification: re-checked %d/%d switches (%d replayed from cache)\n\n",
 		after.Checked-before.Checked, len(report.Switches), after.Replayed-before.Replayed)
 	fmt.Print(report.Summary())
+	// The session backs the view with a copy-on-write overlay over its
+	// cached pristine model; the printed counts include the overlay's
+	// failure marks.
+	fmt.Printf("\ncontroller risk view: %s\n", report.ControllerView)
 
 	// Forensics step 3: localization trace for the ticket.
 	if report.Controller != nil {

@@ -64,19 +64,24 @@ func run() error {
 	fmt.Printf("injected faults (ground truth): full %s, partial %s\n\n", full, partial)
 
 	// Shared pipeline front half: the analyzer produces per-switch missing
-	// rules; rebuild the annotated controller model from them so SCOUT and
-	// SCORE run on identical inputs.
+	// rules; stack a copy-on-write failure overlay on a pristine
+	// controller model and annotate it from them, so SCOUT and SCORE run
+	// on identical inputs (an overlay and an annotated clone are
+	// interchangeable behind scout.RiskView).
 	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
 	if err != nil {
 		return err
 	}
 	d := f.Deployment()
-	model := scout.BuildControllerRiskModel(d, scout.ControllerModelOptions{IncludeSwitchRisk: true})
+	pristine := scout.BuildControllerRiskModelParallel(d,
+		scout.ControllerModelOptions{IncludeSwitchRisk: true}, *workers)
+	model := scout.NewRiskOverlay(pristine)
 	for _, sr := range report.Switches {
 		if !sr.Equivalent {
 			scout.AugmentControllerRiskModel(model, sr.Switch, sr.MissingRules, d.Provenance)
 		}
 	}
+	fmt.Printf("annotated view: %s\n", model)
 	fmt.Printf("failure signature: %d observations, %d suspect objects\n\n",
 		len(model.FailureSignature()), len(model.SuspectSet()))
 

@@ -170,9 +170,10 @@ func (r *Figure3Result) Render() string {
 type Algorithm struct {
 	// Name labels the curve ("SCOUT", "SCORE-0.6", "SCORE-1").
 	Name string
-	// Run executes the algorithm against an annotated model. changed is
-	// the simulated recent-change oracle.
-	Run func(m *risk.Model, changed object.Set) *localize.Result
+	// Run executes the algorithm against an annotated risk view (a model
+	// or a failure overlay). changed is the simulated recent-change
+	// oracle.
+	Run func(v risk.View, changed object.Set) *localize.Result
 }
 
 // StandardAlgorithms returns the three algorithm variants the paper's
@@ -181,20 +182,20 @@ func StandardAlgorithms() []Algorithm {
 	return []Algorithm{
 		{
 			Name: "SCOUT",
-			Run: func(m *risk.Model, changed object.Set) *localize.Result {
-				return localize.Scout(m, localize.SetOracle(changed))
+			Run: func(v risk.View, changed object.Set) *localize.Result {
+				return localize.Scout(v, localize.SetOracle(changed))
 			},
 		},
 		{
 			Name: "SCORE-0.6",
-			Run: func(m *risk.Model, _ object.Set) *localize.Result {
-				return localize.Score(m, 0.6)
+			Run: func(v risk.View, _ object.Set) *localize.Result {
+				return localize.Score(v, 0.6)
 			},
 		},
 		{
 			Name: "SCORE-1",
-			Run: func(m *risk.Model, _ object.Set) *localize.Result {
-				return localize.Score(m, 1.0)
+			Run: func(v risk.View, _ object.Set) *localize.Result {
+				return localize.Score(v, 1.0)
 			},
 		},
 	}
@@ -204,8 +205,8 @@ func StandardAlgorithms() []Algorithm {
 func ScoutNoChangeLog() Algorithm {
 	return Algorithm{
 		Name: "SCOUT-nolog",
-		Run: func(m *risk.Model, _ object.Set) *localize.Result {
-			return localize.Scout(m, localize.NoChanges{})
+		Run: func(v risk.View, _ object.Set) *localize.Result {
+			return localize.Scout(v, localize.NoChanges{})
 		},
 	}
 }
@@ -268,7 +269,7 @@ func SwitchModelAccuracy(env *Env, opts AccuracyOptions) (*AccuracyResult, error
 	model := risk.BuildSwitchModel(env.Deployment, sw)
 
 	return accuracySweep("switch risk model", model, candidates, opts, rng,
-		func(m *risk.Model, sc workload.Scenario, r *rand.Rand) {
+		func(m risk.Marker, sc workload.Scenario, r *rand.Rand) {
 			workload.ApplyToSwitchModel(m, env.Deployment, env.Index, sw, sc, r)
 		})
 }
@@ -282,14 +283,19 @@ func ControllerModelAccuracy(env *Env, opts AccuracyOptions) (*AccuracyResult, e
 	model := risk.BuildControllerModel(env.Deployment, risk.ControllerModelOptions{IncludeSwitchRisk: true})
 
 	return accuracySweep("controller risk model", model, candidates, opts, rng,
-		func(m *risk.Model, sc workload.Scenario, r *rand.Rand) {
+		func(m risk.Marker, sc workload.Scenario, r *rand.Rand) {
 			workload.ApplyToControllerModel(m, env.Deployment, env.Index, sc, r)
 		})
 }
 
-func accuracySweep(title string, model *risk.Model, candidates []object.Ref,
+// accuracySweep drives one accuracy figure. The pristine model is shared
+// read-only across every run: each scenario's faults land in a fresh
+// copy-on-write overlay and the algorithms localize through the overlay
+// view, so runs never pay a model reset (or clone) and cannot leak marks
+// into each other.
+func accuracySweep(title string, pristine *risk.Model, candidates []object.Ref,
 	opts AccuracyOptions, rng *rand.Rand,
-	apply func(*risk.Model, workload.Scenario, *rand.Rand)) (*AccuracyResult, error) {
+	apply func(risk.Marker, workload.Scenario, *rand.Rand)) (*AccuracyResult, error) {
 
 	res := &AccuracyResult{Title: title}
 	curves := make([]AccuracyCurve, len(opts.Algorithms))
@@ -305,10 +311,10 @@ func accuracySweep(title string, model *risk.Model, candidates []object.Ref,
 			if err != nil {
 				return nil, err
 			}
-			model.ResetFailures()
-			apply(model, sc, rng)
+			ov := risk.NewOverlay(pristine)
+			apply(ov, sc, rng)
 			for i, alg := range opts.Algorithms {
-				r := alg.Run(model, sc.Changed)
+				r := alg.Run(ov, sc.Changed)
 				acc := r.Evaluate(sc.GroundTruth)
 				sumsP[i] += acc.Precision
 				sumsR[i] += acc.Recall
@@ -322,7 +328,6 @@ func accuracySweep(title string, model *risk.Model, candidates []object.Ref,
 			})
 		}
 	}
-	model.ResetFailures()
 	res.Curves = curves
 	return res, nil
 }
@@ -441,13 +446,13 @@ func SuspectSetReduction(env *Env, opts GammaOptions) (*GammaResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		model.ResetFailures()
-		workload.ApplyToControllerModel(model, env.Deployment, env.Index, sc, rng)
-		suspects := len(model.SuspectSet())
+		ov := risk.NewOverlay(model)
+		workload.ApplyToControllerModel(ov, env.Deployment, env.Index, sc, rng)
+		suspects := len(ov.SuspectSet())
 		if suspects == 0 {
 			continue
 		}
-		res := localize.Scout(model, localize.SetOracle(sc.Changed))
+		res := localize.Scout(ov, localize.SetOracle(sc.Changed))
 		gamma := float64(len(res.Hypothesis)) / float64(suspects)
 		for bi, b := range opts.Buckets {
 			if suspects >= b[0] && suspects < b[1] {
@@ -457,7 +462,6 @@ func SuspectSetReduction(env *Env, opts GammaOptions) (*GammaResult, error) {
 			}
 		}
 	}
-	model.ResetFailures()
 
 	out := &GammaResult{Title: fmt.Sprintf("suspect-set reduction (%d faults)", opts.Faults)}
 	for bi, b := range opts.Buckets {

@@ -96,7 +96,7 @@ type Result struct {
 // Gamma returns the suspect-set-reduction ratio γ = |H| / |suspect set|
 // for the result against the model it was computed from (paper §VI). It
 // returns 0 when there are no suspects.
-func (r *Result) Gamma(m *risk.Model) float64 {
+func (r *Result) Gamma(m risk.View) float64 {
 	suspects := m.SuspectSet()
 	if len(suspects) == 0 {
 		return 0
@@ -108,7 +108,7 @@ func (r *Result) Gamma(m *risk.Model) float64 {
 // extracted once from the (immutable) model plus an alive mask that
 // implements Algorithm 1's Prune.
 type view struct {
-	m *risk.Model
+	m risk.View
 	// deps[ref] = elements depending on ref.
 	deps map[object.Ref][]risk.ElementID
 	// failed[ref] = elements whose edge to ref is marked fail.
@@ -116,7 +116,7 @@ type view struct {
 	alive  []bool
 }
 
-func newView(m *risk.Model) *view {
+func newView(m risk.View) *view {
 	v := &view{
 		m:      m,
 		deps:   make(map[object.Ref][]risk.ElementID),
@@ -154,7 +154,7 @@ func (v *view) aliveCounts(ref object.Ref) (deps, failed int) {
 // Scout runs the SCOUT algorithm (Algorithm 1) on the annotated model.
 // oracle supplies the change-log lookup for stage two; pass NoChanges{} to
 // disable it.
-func Scout(m *risk.Model, oracle ChangeOracle) *Result {
+func Scout(m risk.View, oracle ChangeOracle) *Result {
 	v := newView(m)
 	res := &Result{}
 	hypothesis := make(object.Set)
@@ -262,7 +262,7 @@ func pickCandidates(v *view, candidates object.Set, pending map[risk.ElementID]s
 // (SCORE-X in the paper's figures, e.g. 0.6 or 1.0). Hit ratios are
 // computed once on the full model; eligible risks are greedily selected by
 // residual coverage until no eligible risk explains a new observation.
-func Score(m *risk.Model, threshold float64) *Result {
+func Score(m risk.View, threshold float64) *Result {
 	v := newView(m)
 	res := &Result{}
 	hypothesis := make(object.Set)

@@ -17,7 +17,7 @@ import (
 // MaxCoverage runs plain greedy set cover over the failed edges of the
 // annotated model: repeatedly pick the risk explaining the most
 // still-unexplained observations until everything is explained.
-func MaxCoverage(m *risk.Model) *Result {
+func MaxCoverage(m risk.View) *Result {
 	v := newView(m)
 	res := &Result{}
 	hypothesis := make(object.Set)

@@ -17,6 +17,8 @@ package probe
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"scout/internal/compile"
 	"scout/internal/object"
@@ -70,13 +72,60 @@ type Classifier interface {
 var _ Classifier = (*tcam.TCAM)(nil)
 
 // Prober synthesizes and evaluates probes for a compiled deployment.
+// Probe packets are memoized per rule key — i.e. per (VRF, EPG pair,
+// filter entry) — so switches sharing EPG pairs reuse each other's
+// packets within one analysis run instead of re-synthesizing them. The
+// memo is guarded, so one Prober may serve concurrent ProbeSwitch calls
+// from the analyzer's worker pool.
 type Prober struct {
 	d *compile.Deployment
+
+	mu      sync.RWMutex
+	packets map[rule.Key]Packet
+	// hits/misses are atomic so the steady-state hit path stays on the
+	// shared read lock instead of serializing the worker fan-out.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // New creates a prober over the deployment.
 func New(d *compile.Deployment) *Prober {
-	return &Prober{d: d}
+	return &Prober{d: d, packets: make(map[rule.Key]Packet)}
+}
+
+// packetFor returns the memoized probe packet for an eligible rule,
+// synthesizing and caching it on first sight of the rule's key.
+func (p *Prober) packetFor(r rule.Rule) Packet {
+	k := r.Key()
+	p.mu.RLock()
+	pkt, ok := p.packets[k]
+	p.mu.RUnlock()
+	if ok {
+		p.hits.Add(1)
+		return pkt
+	}
+	pkt = Packet{
+		VRF:    r.Match.VRF,
+		SrcEPG: r.Match.SrcEPG,
+		DstEPG: r.Match.DstEPG,
+		Proto:  r.Match.Proto,
+		Port:   r.Match.PortLo,
+	}
+	p.mu.Lock()
+	if _, raced := p.packets[k]; !raced {
+		p.misses.Add(1)
+		p.packets[k] = pkt
+	} else {
+		p.hits.Add(1)
+	}
+	p.mu.Unlock()
+	return pkt
+}
+
+// MemoStats returns the packet memo's cumulative hit and miss counts —
+// the observability hook for cross-switch probe-synthesis sharing.
+func (p *Prober) MemoStats() (hits, misses int) {
+	return int(p.hits.Load()), int(p.misses.Load())
 }
 
 // ProbeSwitch probes every (pair, rule) deployed on switch sw against
@@ -90,13 +139,7 @@ func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
 		if r.Action != rule.Allow || r.Match.WildcardSrc || r.Match.WildcardDst {
 			continue
 		}
-		pkt := Packet{
-			VRF:    r.Match.VRF,
-			SrcEPG: r.Match.SrcEPG,
-			DstEPG: r.Match.DstEPG,
-			Proto:  r.Match.Proto,
-			Port:   r.Match.PortLo,
-		}
+		pkt := p.packetFor(r)
 		got, matched := dataplane.Classify(pkt.VRF, pkt.SrcEPG, pkt.DstEPG, pkt.Proto, pkt.Port)
 		if matched && got == r.Action {
 			continue
@@ -171,13 +214,13 @@ func MissingRules(violations []Violation) []rule.Rule {
 // switch's risk model, marking the violated pairs' edges to the
 // implicated objects as failed. It returns the number of edges newly
 // marked.
-func AugmentSwitchModel(m *risk.Model, violations []Violation, prov map[rule.Key][]object.Ref) int {
+func AugmentSwitchModel(m risk.Marker, violations []Violation, prov map[rule.Key][]object.Ref) int {
 	return risk.AugmentSwitchModel(m, MissingRules(violations), prov)
 }
 
 // AugmentControllerModel feeds per-switch probe violations into the
 // controller risk model.
-func AugmentControllerModel(m *risk.Model, violations []Violation, prov map[rule.Key][]object.Ref) int {
+func AugmentControllerModel(m risk.Marker, violations []Violation, prov map[rule.Key][]object.Ref) int {
 	bySwitch := make(map[object.ID][]rule.Rule)
 	seen := make(map[object.ID]map[rule.Key]struct{})
 	for _, v := range violations {

@@ -243,3 +243,47 @@ func TestProbeAgreesWithCheckerOnGeneratedWorkloads(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestProberPacketMemo covers the per-rule-key packet memo: switches
+// sharing EPG pairs (here S2 shares both the Web-App and App-DB rules
+// with S1 and S3) must reuse the packets the first switch synthesized,
+// and the memoized prober must report exactly what a fresh one does.
+func TestProberPacketMemo(t *testing.T) {
+	f := threeTierFabric(t)
+	d := f.Deployment()
+
+	shared := New(d)
+	var sharedViolations []Violation
+	for _, sw := range []object.ID{1, 2, 3} {
+		s, err := f.Switch(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedViolations = append(sharedViolations, shared.ProbeSwitch(sw, s.TCAM())...)
+	}
+	hits, misses := shared.MemoStats()
+	if hits == 0 {
+		t.Error("no memo hits across switches sharing EPG pairs")
+	}
+	if misses == 0 {
+		t.Error("memo recorded no synthesis at all")
+	}
+
+	var freshViolations []Violation
+	for _, sw := range []object.ID{1, 2, 3} {
+		s, err := f.Switch(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshViolations = append(freshViolations, New(d).ProbeSwitch(sw, s.TCAM())...)
+	}
+	if len(sharedViolations) != len(freshViolations) {
+		t.Fatalf("shared prober found %d violations, fresh probers %d",
+			len(sharedViolations), len(freshViolations))
+	}
+	for i := range sharedViolations {
+		if sharedViolations[i].String() != freshViolations[i].String() {
+			t.Errorf("violation %d differs: %s vs %s", i, sharedViolations[i], freshViolations[i])
+		}
+	}
+}

@@ -6,6 +6,8 @@ package risk
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"scout/internal/compile"
 	"scout/internal/object"
@@ -66,8 +68,77 @@ type ControllerModelOptions struct {
 // risks are the policy objects each pair relies on in that switch, plus
 // optionally the switch itself.
 func BuildControllerModel(d *compile.Deployment, opts ControllerModelOptions) *Model {
+	return BuildControllerModelParallel(d, opts, 1)
+}
+
+// BuildControllerModelParallel is BuildControllerModel with the build
+// sharded by switch over a pool of workers goroutines. Element labels
+// embed the switch, so every shard owns a disjoint element range, and the
+// shards are merged in ascending switch-ID order replaying the serial
+// build's exact insertion sequence: element IDs, risk IDs, and adjacency
+// orders come out identical to the serial build, keeping every downstream
+// localization result byte-identical at any worker count. The merge is a
+// cheap remap-and-append pass; the map-heavy per-pair work (rule-key and
+// provenance lookups, edge dedup) runs in the shards. workers <= 1
+// selects the serial build.
+func BuildControllerModelParallel(d *compile.Deployment, opts ControllerModelOptions, workers int) *Model {
+	sps := d.SwitchPairs() // sorted: ascending switch, then pair
 	m := NewModel("controller")
-	for _, sp := range d.SwitchPairs() {
+	if workers <= 1 || len(sps) == 0 {
+		buildControllerRange(m, d, sps, opts)
+		return m
+	}
+
+	// Slice the sorted footprint into per-switch shards.
+	type shard struct{ lo, hi int }
+	var shards []shard
+	lo := 0
+	for i := 1; i <= len(sps); i++ {
+		if i == len(sps) || sps[i].Switch != sps[lo].Switch {
+			shards = append(shards, shard{lo, i})
+			lo = i
+		}
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		buildControllerRange(m, d, sps, opts)
+		return m
+	}
+
+	models := make([]*Model, len(shards))
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				sm := NewModel("shard")
+				buildControllerRange(sm, d, sps[shards[i].lo:shards[i].hi], opts)
+				models[i] = sm
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, sm := range models {
+		mergeShard(m, sm)
+	}
+	return m
+}
+
+// buildControllerRange builds the controller-model slice for a contiguous
+// run of the sorted (switch, pair) footprint into m.
+func buildControllerRange(m *Model, d *compile.Deployment, sps []compile.SwitchPair, opts ControllerModelOptions) {
+	for _, sp := range sps {
 		el := m.EnsureElement(sp.String())
 		for _, k := range d.PairRules[sp] {
 			for _, ref := range d.Provenance[k] {
@@ -78,15 +149,40 @@ func BuildControllerModel(d *compile.Deployment, opts ControllerModelOptions) *M
 			m.AddEdge(el, object.Switch(sp.Switch))
 		}
 	}
-	return m
+}
+
+// mergeShard appends a shard model built from a disjoint element range
+// onto m, remapping the shard's risk IDs. Shard risk IDs are first-
+// encounter order within the shard's pair range, so registering them in
+// ID order reproduces the serial build's global first-encounter order.
+func mergeShard(m *Model, sm *Model) {
+	remap := make([]RiskID, len(sm.risks))
+	for i := range sm.risks {
+		remap[i] = m.EnsureRisk(sm.risks[i].ref)
+	}
+	for i := range sm.elements {
+		se := &sm.elements[i]
+		el := ElementID(len(m.elements))
+		risks := make([]RiskID, len(se.risks))
+		for j, r := range se.risks {
+			risks[j] = remap[r]
+		}
+		m.elements = append(m.elements, elementData{label: se.label, risks: risks})
+		m.byLabel[se.label] = el
+		for _, r := range risks {
+			m.risks[r].elements = append(m.risks[r].elements, el)
+		}
+		m.edges += len(risks)
+	}
 }
 
 // AugmentSwitchModel marks failures in a switch risk model from the
 // missing rules the equivalence checker reported for that switch. For
 // every missing rule, the EPG pair it serves becomes an observation and
 // the edges to all objects in the rule's provenance are flagged fail. It
-// returns the number of edges newly marked failed.
-func AugmentSwitchModel(m *Model, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
+// returns the number of edges newly marked failed. m may be a mutable
+// model or an overlay.
+func AugmentSwitchModel(m Marker, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
 	marked := 0
 	for _, r := range missing {
 		pair := policy.MakeEPGPair(r.Match.SrcEPG, r.Match.DstEPG)
@@ -104,29 +200,71 @@ func AugmentSwitchModel(m *Model, missing []rule.Rule, prov map[rule.Key][]objec
 }
 
 // AugmentControllerModel marks failures in the controller risk model from
-// the per-switch missing-rule reports. markSwitch controls whether the
-// triplet's edge to its switch risk (if modeled) is also flagged.
-func AugmentControllerModel(m *Model, sw object.ID, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
+// the per-switch missing-rule reports: each implicated triplet's edge to
+// the rule's provenance objects — and to its switch risk, when modeled —
+// is flagged fail. It returns the number of edges newly marked failed.
+func AugmentControllerModel(m Marker, sw object.ID, missing []rule.Rule, prov map[rule.Key][]object.Ref) int {
+	return AugmentControllerModelPatch(m, sw, missing, prov).Apply(m)
+}
+
+// Patch is an ordered list of failure marks computed against a read-only
+// View, replayable into a Marker with Apply. It decouples computing
+// controller-model augmentation (per-switch, read-only, safe to fan out)
+// from applying it (serial, in ascending switch-ID order), which is what
+// lets the analyzer's fold stage parallelize everything but the final
+// O(failures) replay.
+type Patch struct {
+	marks []patchMark
+}
+
+type patchMark struct {
+	el  ElementID
+	ref object.Ref
+}
+
+// Empty reports whether the patch carries no marks.
+func (p *Patch) Empty() bool { return p == nil || len(p.marks) == 0 }
+
+// Apply replays the marks into m in recorded order and returns the number
+// of edges newly marked failed.
+func (p *Patch) Apply(m Marker) int {
+	if p == nil {
+		return 0
+	}
 	marked := 0
+	for _, mk := range p.marks {
+		if m.MarkFailed(mk.el, mk.ref) {
+			marked++
+		}
+	}
+	return marked
+}
+
+// AugmentControllerModelPatch computes the failure marks
+// AugmentControllerModel would make for one switch's missing rules,
+// without mutating the view. It only reads v, so patches for distinct
+// switches compute concurrently against a shared pristine view; replaying
+// them with Apply in ascending switch-ID order is equivalent to the
+// serial augmentation (marking never creates elements, and never creates
+// switch risks — the only base state the computation reads).
+func AugmentControllerModelPatch(v View, sw object.ID, missing []rule.Rule, prov map[rule.Key][]object.Ref) *Patch {
+	p := &Patch{}
+	_, hasSwitchRisk := v.RiskByRef(object.Switch(sw))
 	for _, r := range missing {
 		pair := policy.MakeEPGPair(r.Match.SrcEPG, r.Match.DstEPG)
 		sp := compile.SwitchPair{Switch: sw, Pair: pair}
-		el, ok := m.ElementByLabel(sp.String())
+		el, ok := v.ElementByLabel(sp.String())
 		if !ok {
 			continue
 		}
 		for _, ref := range provenanceOf(r, prov) {
-			if m.MarkFailed(el, ref) {
-				marked++
-			}
+			p.marks = append(p.marks, patchMark{el: el, ref: ref})
 		}
-		if _, hasSwitchRisk := m.RiskByRef(object.Switch(sw)); hasSwitchRisk {
-			if m.MarkFailed(el, object.Switch(sw)) {
-				marked++
-			}
+		if hasSwitchRisk {
+			p.marks = append(p.marks, patchMark{el: el, ref: object.Switch(sw)})
 		}
 	}
-	return marked
+	return p
 }
 
 func provenanceOf(r rule.Rule, prov map[rule.Key][]object.Ref) []object.Ref {

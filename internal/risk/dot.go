@@ -10,48 +10,62 @@ import (
 	"strings"
 )
 
-// WriteDOT renders the model as a Graphviz digraph. Failed edges and
-// observation elements are drawn red; healthy edges gray. maxElements
-// bounds output size for huge models (0 = no bound).
-func (m *Model) WriteDOT(w io.Writer, maxElements int) error {
+// WriteDOT renders any risk view — a mutable Model or a failure Overlay —
+// as a Graphviz digraph. Failed edges and observation elements are drawn
+// red (overlay-backed views include the overlay's marks); healthy edges
+// gray. maxElements bounds output size for huge models (0 = no bound).
+func WriteDOT(w io.Writer, v View, maxElements int) error {
+	a, ok := v.(adjacency)
+	if !ok {
+		// Package-external View implementations cannot expose insertion
+		// order; both in-package kinds implement adjacency.
+		return fmt.Errorf("risk: WriteDOT: unsupported view type %T", v)
+	}
 	var b strings.Builder
 	b.WriteString("digraph riskmodel {\n")
 	b.WriteString("  rankdir=LR;\n")
-	fmt.Fprintf(&b, "  label=%q;\n", m.name)
+	fmt.Fprintf(&b, "  label=%q;\n", v.Name())
 	b.WriteString("  node [fontsize=10];\n")
 
-	n := len(m.elements)
+	total := v.NumElements()
+	n := total
 	if maxElements > 0 && n > maxElements {
 		n = maxElements
 	}
 	for i := 0; i < n; i++ {
-		e := m.elements[i]
+		el := ElementID(i)
 		color := "black"
-		if len(e.failed) > 0 {
+		if v.IsObservation(el) {
 			color = "red"
 		}
-		fmt.Fprintf(&b, "  e%d [label=%q shape=box color=%s];\n", i, e.label, color)
+		fmt.Fprintf(&b, "  e%d [label=%q shape=box color=%s];\n", i, v.Label(el), color)
 	}
 
 	// Emit only risks adjacent to the emitted elements.
 	emitted := make(map[RiskID]bool)
 	for i := 0; i < n; i++ {
-		for _, r := range m.elements[i].risks {
+		el := ElementID(i)
+		for _, r := range a.risksAdj(el) {
 			if !emitted[r] {
 				emitted[r] = true
-				fmt.Fprintf(&b, "  r%d [label=%q shape=ellipse];\n", int(r), m.risks[r].ref.String())
+				fmt.Fprintf(&b, "  r%d [label=%q shape=ellipse];\n", int(r), a.refOf(r).String())
 			}
 			style := "color=gray"
-			if _, failed := m.elements[i].failed[r]; failed {
+			if a.edgeFailedID(el, r) {
 				style = "color=red penwidth=2"
 			}
 			fmt.Fprintf(&b, "  e%d -> r%d [%s];\n", i, int(r), style)
 		}
 	}
-	if n < len(m.elements) {
-		fmt.Fprintf(&b, "  trunc [label=\"… %d more elements\" shape=plaintext];\n", len(m.elements)-n)
+	if n < total {
+		fmt.Fprintf(&b, "  trunc [label=\"… %d more elements\" shape=plaintext];\n", total-n)
 	}
 	b.WriteString("}\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteDOT renders the model as a Graphviz digraph.
+func (m *Model) WriteDOT(w io.Writer, maxElements int) error {
+	return WriteDOT(w, m, maxElements)
 }

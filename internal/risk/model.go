@@ -20,6 +20,58 @@ type ElementID int
 // RiskID is a dense index of a shared risk within a Model.
 type RiskID int
 
+// View is the read interface over an annotated risk model. Localization,
+// rendering, and evaluation consume a View so that a mutable deep-cloned
+// *Model and a copy-on-write *Overlay over an immutable pristine core are
+// interchangeable: both yield the same element/risk IDs and failure sets,
+// so every downstream result is byte-identical regardless of which backs
+// the view.
+type View interface {
+	fmt.Stringer
+	Name() string
+	NumElements() int
+	NumRisks() int
+	NumEdges() int
+	NumFailedEdges() int
+	ElementByLabel(label string) (ElementID, bool)
+	Label(el ElementID) string
+	RiskByRef(ref object.Ref) (RiskID, bool)
+	Ref(r RiskID) object.Ref
+	EdgeFailed(el ElementID, ref object.Ref) bool
+	IsObservation(el ElementID) bool
+	RisksOf(el ElementID) []object.Ref
+	FailedRisksOf(el ElementID) []object.Ref
+	ElementsOf(ref object.Ref) []ElementID
+	NumDependents(ref object.Ref) int
+	FailedElementsOf(ref object.Ref) []ElementID
+	FailureSignature() []ElementID
+	Risks() []object.Ref
+	HitRatio(ref object.Ref) float64
+	CoverageRatio(ref object.Ref) float64
+	SuspectSet() []object.Ref
+}
+
+// Marker is a View that also accepts failure annotation — what risk-model
+// augmentation and fault injection write against. Both *Model and
+// *Overlay implement it.
+type Marker interface {
+	View
+	MarkFailed(el ElementID, ref object.Ref) bool
+}
+
+var (
+	_ Marker = (*Model)(nil)
+	_ Marker = (*Overlay)(nil)
+)
+
+// adjacency is the package-internal edge-order access that DOT rendering
+// uses to reproduce insertion-ordered output for both view kinds.
+type adjacency interface {
+	risksAdj(el ElementID) []RiskID
+	refOf(r RiskID) object.Ref
+	edgeFailedID(el ElementID, r RiskID) bool
+}
+
 type elementData struct {
 	label  string
 	risks  []RiskID
@@ -314,9 +366,25 @@ func (m *Model) ResetFailures() {
 }
 
 // String summarizes the model.
-func (m *Model) String() string {
+func (m *Model) String() string { return summarize(m) }
+
+// summarize renders the one-line digest shared by every view kind; the
+// counts go through the View interface, so an overlay reports its
+// combined (base + overlay) failure numbers.
+func summarize(v View) string {
 	return fmt.Sprintf("risk model %q: %d elements, %d risks, %d edges (%d failed)",
-		m.name, len(m.elements), len(m.risks), m.edges, m.failed)
+		v.Name(), v.NumElements(), v.NumRisks(), v.NumEdges(), v.NumFailedEdges())
+}
+
+// risksAdj, refOf, and edgeFailedID expose adjacency in insertion order
+// for DOT rendering.
+func (m *Model) risksAdj(el ElementID) []RiskID { return m.elements[el].risks }
+
+func (m *Model) refOf(r RiskID) object.Ref { return m.risks[r].ref }
+
+func (m *Model) edgeFailedID(el ElementID, r RiskID) bool {
+	_, failed := m.elements[el].failed[r]
+	return failed
 }
 
 // Clone returns a deep copy of the model (used by destructive algorithms

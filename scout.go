@@ -72,6 +72,16 @@ type AnalyzerOptions struct {
 	// behaviour from corrupted rules is not reported in this mode.
 	UseProbes bool
 
+	// SessionMissingRuleCap bounds how many rules (missing + extra) a
+	// Session caches per switch. A massively inconsistent switch can
+	// report rule lists rivaling its whole TCAM; caching those for every
+	// such switch made session memory unbounded. Reports over the cap are
+	// still returned but not cached — the switch falls back to a re-check
+	// on the next run instead of a replay (counted in
+	// SessionStats.OverCap). 0 selects the default (4096); negative
+	// disables the bound. One-shot Analyzers ignore it.
+	SessionMissingRuleCap int
+
 	// Workers bounds the number of concurrent per-switch equivalence
 	// checks. L-T checks are independent across switches (§III-C checks
 	// each switch on its own), so the check stage fans out over a pool of
@@ -126,6 +136,13 @@ type Report struct {
 	Switches []SwitchReport
 	// Controller is the SCOUT result on the controller risk model.
 	Controller *localize.Result
+	// ControllerView is the annotated controller risk view the global
+	// localization ran on: a freshly built model for one-shot analyses, a
+	// copy-on-write overlay over the cached pristine core for warm
+	// session runs. It is a live structure (not a serializable result),
+	// so it is excluded from the JSON form; its String() reports
+	// overlay-aware element/edge/failure counts.
+	ControllerView risk.View `json:"-"`
 	// Hypothesis is the controller-model hypothesis: the minimal set of
 	// most-likely faulty policy objects (may include switch objects).
 	Hypothesis []object.Ref
@@ -171,13 +188,17 @@ func (a *Analyzer) Analyze(f *fabric.Fabric) (*Report, error) {
 }
 
 // analyzeWithProbes runs the probe-based observation source, which needs
-// live dataplane access rather than TCAM dumps.
+// live dataplane access rather than TCAM dumps. One prober is shared
+// across the whole fan-out so probe-packet synthesis memoizes per rule
+// key: switches sharing EPG pairs reuse each other's packets instead of
+// regenerating them (the Prober's memo is safe for concurrent readers).
 func (a *Analyzer) analyzeWithProbes(f *fabric.Fabric) (*Report, error) {
 	start := time.Now()
 	d := f.Deployment()
+	prober := probe.New(d)
 	switches := sortSwitches(f.Topology().Switches())
 	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
-		return a.checkSwitch(f, d, c, sw)
+		return a.checkSwitch(f, d, c, prober, sw)
 	})
 	if err != nil {
 		return nil, err
@@ -388,14 +409,19 @@ func sortSwitches(switches []object.ID) []object.ID {
 }
 
 // controllerModel builds the fabric-wide controller risk model for the
-// deployment per the analyzer's options. The build is deterministic, so a
-// Session may cache the result per deployment and hand assemble a clone.
+// deployment per the analyzer's options, sharding the build by switch
+// over the worker pool. The sharded build merges in ascending switch-ID
+// order, so the result is identical at any worker count and a Session may
+// cache it per deployment as the immutable pristine core that overlays
+// stack on.
 func (a *Analyzer) controllerModel(d *Deployment) *risk.Model {
 	includeSwitch := true
 	if a.opts.IncludeSwitchRisk != nil {
 		includeSwitch = *a.opts.IncludeSwitchRisk
 	}
-	return risk.BuildControllerModel(d, risk.ControllerModelOptions{IncludeSwitchRisk: includeSwitch})
+	return risk.BuildControllerModelParallel(d,
+		risk.ControllerModelOptions{IncludeSwitchRisk: includeSwitch},
+		a.workers(len(d.BySwitch)))
 }
 
 // oracle builds the change-log oracle anchored at now.
@@ -405,32 +431,39 @@ func (a *Analyzer) oracle(changes *ChangeLog, now time.Time) localize.ChangeLogO
 
 // assemble runs the pipeline stages downstream of the check stage. The
 // per-switch residue — risk-model build plus localization for every
-// inequivalent switch — fans out over the worker pool (the models are
-// independent and only read the shared deployment); then the serial fold
-// walks the switches in ascending ID order to count missing rules and
-// augment the controller model, and the global localization/correlation
-// pass finishes the report. switches must be sorted ascending and aligned
-// with checkReps. ctrlModel is consumed (augmented in place).
-func (a *Analyzer) assemble(ctrlModel *risk.Model, d *Deployment, changes *ChangeLog, faults *FaultLog,
+// inequivalent switch, and the controller-model augmentation patch — fans
+// out over the worker pool (patches only read the still-pristine
+// controller view); then the serial fold walks the switches in ascending
+// ID order to count missing rules and replay the patches, and the global
+// localization/correlation pass finishes the report. Only localize.Scout
+// itself and the O(failures) patch replay stay serial. switches must be
+// sorted ascending and aligned with checkReps. ctrl is consumed (marked
+// in place): the one-shot analyzer passes a fresh model, a warm session a
+// copy-on-write overlay over its cached pristine core.
+func (a *Analyzer) assemble(ctrl risk.Marker, d *Deployment, changes *ChangeLog, faults *FaultLog,
 	now time.Time, switches []object.ID, checkReps []*equiv.Report) *Report {
 	oracle := a.oracle(changes, now)
 
 	srs := make([]SwitchReport, len(switches))
+	patches := make([]*risk.Patch, len(switches))
 	a.forEach(len(switches), func(i int) {
 		srs[i] = a.buildSwitchReport(d, oracle, switches[i], checkReps[i])
+		if !srs[i].Equivalent {
+			patches[i] = risk.AugmentControllerModelPatch(ctrl, switches[i], srs[i].MissingRules, d.Provenance)
+		}
 	})
 
-	rep := &Report{Consistent: true, Switches: srs}
+	rep := &Report{Consistent: true, Switches: srs, ControllerView: ctrl}
 	for i := range srs {
 		if srs[i].Equivalent {
 			continue
 		}
 		rep.Consistent = false
 		rep.TotalMissing += len(srs[i].MissingRules)
-		risk.AugmentControllerModel(ctrlModel, srs[i].Switch, srs[i].MissingRules, d.Provenance)
+		patches[i].Apply(ctrl)
 	}
 	if !rep.Consistent {
-		rep.Controller = localize.Scout(ctrlModel, oracle)
+		rep.Controller = localize.Scout(ctrl, oracle)
 		rep.Hypothesis = rep.Controller.Hypothesis
 		rep.RootCauses = a.engine.Correlate(rep.Hypothesis, changes, faults)
 	}
@@ -458,14 +491,18 @@ func (a *Analyzer) buildSwitchReport(d *Deployment, oracle localize.ChangeOracle
 // checkSwitch produces the missing/extra-rule report for one switch using
 // the configured observation source (BDD checker, naive differ, or
 // dataplane probes). The deployment is passed in so the hot per-switch
-// path never re-fetches it.
-func (a *Analyzer) checkSwitch(f *fabric.Fabric, d *Deployment, checker *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+// path never re-fetches it; prober, when non-nil, is the run-shared
+// prober whose packet memo amortizes synthesis across switches.
+func (a *Analyzer) checkSwitch(f *fabric.Fabric, d *Deployment, checker *equiv.Checker, prober *probe.Prober, sw object.ID) (*equiv.Report, error) {
 	if a.opts.UseProbes {
 		s, err := f.Switch(sw)
 		if err != nil {
 			return nil, fmt.Errorf("scout: probe switch %d: %w", sw, err)
 		}
-		violations := probe.New(d).ProbeSwitch(sw, s.TCAM())
+		if prober == nil {
+			prober = probe.New(d)
+		}
+		violations := prober.ProbeSwitch(sw, s.TCAM())
 		return &equiv.Report{
 			Equivalent:   len(violations) == 0,
 			MissingRules: probe.MissingRules(violations),
@@ -495,7 +532,7 @@ func (a *Analyzer) AnalyzeSwitch(f *fabric.Fabric, sw object.ID) (*SwitchReport,
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
 	}
-	checkRep, err := a.checkSwitch(f, d, a.newWorkerChecker(), sw)
+	checkRep, err := a.checkSwitch(f, d, a.newWorkerChecker(), nil, sw)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,10 @@ import (
 // amortized encoding work.
 const sessionCheckerNodeBudget = 4 << 20
 
+// defaultSessionMissingRuleCap is the per-switch cached-rule bound used
+// when AnalyzerOptions.SessionMissingRuleCap is zero.
+const defaultSessionMissingRuleCap = 4096
+
 // Session is a persistent analysis engine over one fabric — the
 // continuous-verification mode of §III-C, where TCAM state is collected
 // periodically and re-checked after every change. Unlike the one-shot
@@ -92,6 +96,9 @@ type SessionStats struct {
 	// CheckerResets counts worker checkers rebuilt after exceeding the
 	// node budget.
 	CheckerResets int
+	// OverCap counts fresh reports too large to cache under
+	// SessionMissingRuleCap; their switches re-check on the next run.
+	OverCap int
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
@@ -265,8 +272,16 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 		if err != nil {
 			return nil, err
 		}
+		capRules := s.missingRuleCap()
 		for j, i := range dirtyIdx {
 			checkReps[i] = fresh[j]
+			if capRules > 0 && len(fresh[j].MissingRules)+len(fresh[j].ExtraRules) > capRules {
+				// Too large to keep: drop any stale entry so the switch
+				// re-checks next run instead of replaying old state.
+				delete(s.cache, switches[i])
+				s.stats.OverCap++
+				continue
+			}
 			s.cache[switches[i]] = &switchCheckState{
 				dep:       st.Deployment,
 				logicalFP: logFPs[i],
@@ -284,17 +299,33 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 	return rep, nil
 }
 
-// controllerModelLocked returns a fresh working controller model:
-// a clone of the cached pristine model while the deployment is unchanged,
-// a new build (cached for next time) otherwise. Cloning preserves element
-// and risk IDs, so localization on a clone is indistinguishable from a
-// cold build.
-func (s *Session) controllerModelLocked(d *compile.Deployment) *risk.Model {
+// controllerModelLocked returns a fresh working controller view: a
+// copy-on-write overlay over the cached immutable pristine model while
+// the deployment is unchanged, a new (sharded) build — cached as the next
+// pristine core — otherwise. The overlay shares the pristine core's
+// element and risk IDs and records only this run's failure marks, so
+// localization through it is indistinguishable from a cold build or a
+// deep clone while per-run setup cost stays O(dirty failures) instead of
+// O(model size). The session never mutates the pristine model itself.
+func (s *Session) controllerModelLocked(d *compile.Deployment) risk.Marker {
 	if s.ctrlPristine == nil || d != s.lastDeployment {
 		s.ctrlPristine = s.a.controllerModel(d)
 		s.lastDeployment = d
 	}
-	return s.ctrlPristine.Clone()
+	return risk.NewOverlay(s.ctrlPristine)
+}
+
+// missingRuleCap resolves the per-switch cached-rule bound: 0 picks the
+// default, negative disables the cap (returns 0 = unbounded).
+func (s *Session) missingRuleCap() int {
+	c := s.a.opts.SessionMissingRuleCap
+	if c == 0 {
+		return defaultSessionMissingRuleCap
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
 }
 
 // provisionCheckersLocked grows the persistent checker pool to n entries

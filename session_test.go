@@ -58,7 +58,11 @@ func removeOneRule(t *testing.T, f *scout.Fabric, sw scout.ObjectID) scout.Rule 
 // TestSessionIncrementalSingleSwitch is the regression test for the
 // incremental session: a warm re-analysis after mutating one switch's
 // rules must re-check only that switch and produce a report
-// byte-identical to a cold full analysis, at every worker count.
+// byte-identical to a cold full analysis, at every worker count. Warm
+// runs localize through a copy-on-write overlay over the cached
+// pristine controller model while the cold analyzer annotates a fresh
+// build, so the byte comparison also pins overlay/model
+// interchangeability end to end.
 func TestSessionIncrementalSingleSwitch(t *testing.T) {
 	for _, workers := range []int{1, 2, runtime.NumCPU()} {
 		f := faultyFabric(t, 7)
@@ -234,6 +238,74 @@ func TestSessionNaiveChecker(t *testing.T) {
 	coldJSON := marshalReport(t, cold)
 	if !bytes.Equal(marshalReport(t, warm1), coldJSON) || !bytes.Equal(marshalReport(t, warm2), coldJSON) {
 		t.Error("naive session reports differ from cold analyzer")
+	}
+}
+
+// TestSessionMissingRuleCap covers the cached-report bound: switches
+// whose reports exceed SessionMissingRuleCap are not cached and fall back
+// to a re-check on the next run, while the reports themselves stay
+// byte-identical to an uncapped session and a cold analyzer.
+func TestSessionMissingRuleCap(t *testing.T) {
+	f := faultyFabric(t, 7)
+	n := f.Topology().NumSwitches()
+
+	// Cap of 1: any switch with more than one missing/extra rule is too
+	// big to cache. The injected faults guarantee several such switches.
+	capped, err := scout.NewSession(f, scout.AnalyzerOptions{SessionMissingRuleCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := capped.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := capped.Stats()
+	if st.OverCap == 0 {
+		t.Fatal("no switch exceeded the cap; test is vacuous")
+	}
+	if st.OverCap > n {
+		t.Fatalf("OverCap = %d exceeds switch count %d", st.OverCap, n)
+	}
+
+	// Steady-state re-run: over-cap switches re-check, the rest replay.
+	rep2, err := capped.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := capped.Stats()
+	if got := st2.Checked - st.Checked; got != st.OverCap {
+		t.Errorf("second run re-checked %d switches, want %d (the over-cap set)", got, st.OverCap)
+	}
+	if got := st2.Replayed - st.Replayed; got != n-st.OverCap {
+		t.Errorf("second run replayed %d switches, want %d", got, n-st.OverCap)
+	}
+
+	cold, err := scout.NewAnalyzer().Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldJSON := marshalReport(t, cold)
+	if !bytes.Equal(marshalReport(t, rep1), coldJSON) || !bytes.Equal(marshalReport(t, rep2), coldJSON) {
+		t.Error("capped session reports differ from cold analyzer")
+	}
+
+	// A negative cap disables the bound entirely.
+	unbounded, err := scout.NewSession(f, scout.AnalyzerOptions{SessionMissingRuleCap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	ust := unbounded.Stats()
+	if ust.OverCap != 0 {
+		t.Errorf("unbounded session reported OverCap = %d", ust.OverCap)
+	}
+	if ust.Checked != n {
+		t.Errorf("unbounded session checked %d switches across two runs, want %d", ust.Checked, n)
 	}
 }
 
