@@ -268,11 +268,15 @@ func BenchmarkEndToEndAnalyze(b *testing.B) {
 }
 
 // BenchmarkAnalyzeWorkers measures the end-to-end analyzer at varying
-// worker counts on a multi-switch faulty fabric: workers=1 is the
-// historical serial pipeline, higher counts shard the per-switch
-// equivalence checks across the pool (the speedup is bounded by
-// GOMAXPROCS; on a single-core machine the sharded runs only pay the
-// lost cross-switch memoization).
+// worker counts on a multi-switch faulty fabric, in both checker modes:
+// "shared" forks every worker checker off the frozen shared encoding
+// base (the default), "private" gives each worker a from-scratch checker
+// (the pre-shared-base behaviour). workers=1 is the historical serial
+// pipeline; higher counts shard the per-switch equivalence checks across
+// the pool (wall-clock speedup is bounded by GOMAXPROCS — on single-core
+// machines compare the bdd-nodes/op metric instead, which counts total
+// node construction and is scheduler-independent on the private side's
+// duplication).
 func BenchmarkAnalyzeWorkers(b *testing.B) {
 	spec := scout.ProductionWorkloadSpec()
 	spec.EPGs = 200
@@ -308,23 +312,31 @@ func BenchmarkAnalyzeWorkers(b *testing.B) {
 		Faults:     f.FaultLog(),
 		Now:        f.Now(),
 	}
-	for _, workers := range []int{1, 2, 4, 8, 0} {
-		name := fmt.Sprintf("workers=%d", workers)
-		if workers == 0 {
-			name = "workers=NumCPU"
-		}
-		b.Run(name, func(b *testing.B) {
-			a := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers})
-			for i := 0; i < b.N; i++ {
-				rep, err := a.AnalyzeState(st)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if rep.Consistent {
-					b.Fatal("faults not detected")
-				}
+	for _, mode := range []struct {
+		name    string
+		private bool
+	}{{"shared", false}, {"private", true}} {
+		for _, workers := range []int{1, 2, 4, 8, 0} {
+			name := fmt.Sprintf("%s/workers=%d", mode.name, workers)
+			if workers == 0 {
+				name = mode.name + "/workers=NumCPU"
 			}
-		})
+			b.Run(name, func(b *testing.B) {
+				a := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers, PrivateCheckers: mode.private})
+				var nodes int
+				for i := 0; i < b.N; i++ {
+					rep, err := a.AnalyzeState(st)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Consistent {
+						b.Fatal("faults not detected")
+					}
+					nodes = rep.EncodeStats.TotalNodes()
+				}
+				b.ReportMetric(float64(nodes), "bdd-nodes/op")
+			})
+		}
 	}
 }
 

@@ -98,3 +98,24 @@ func TestRunOverlaySmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSharedBDDSmoke runs the shared-base ablation on a tiny
+// workload: private-vs-fork node construction at four worker counts,
+// the per-count report-identity contract, and the
+// near-1-worker-baseline bound on shared construction.
+func TestRunSharedBDDSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "sharedbdd", scale: 0.05, seed: 3}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"private nodes", "base+fork nodes",
+		"reports byte-identical between modes at every worker count: true",
+		"shared construction at 4 workers near 1-worker baseline: true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

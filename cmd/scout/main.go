@@ -178,6 +178,10 @@ func emitReport(report *scout.Report, jsonOut, verbose bool) error {
 			// copy-on-write overlay whose counts include its own marks.
 			fmt.Printf("\ncontroller risk view: %s\n", report.ControllerView)
 		}
+		if es := report.EncodeStats; es != nil {
+			fmt.Printf("\nbdd encoding: base %d nodes (%d matches warmed), delta %d nodes across %d checkers, encode hits %d (%d from base) / misses %d\n",
+				es.BaseNodes, es.BaseMatches, es.DeltaNodes, es.Checkers, es.Hits(), es.BaseHits, es.Misses)
+		}
 		fmt.Println("\nper-switch details:")
 		for _, sr := range report.Switches {
 			status := "consistent"
@@ -238,6 +242,9 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts scout.AnalyzerOptions,
 			return nil, err
 		}
 	}
+	st := sess.Stats()
+	fmt.Fprintf(w, "session encodings: base %d nodes (%d rebuilds), delta %d nodes, encode hits %d / misses %d\n",
+		st.BaseNodes, st.BaseRebuilds, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
 	return report, nil
 }
 

@@ -127,6 +127,8 @@ func TestRunWatch(t *testing.T) {
 		fmt.Sprintf("epoch 1 (baseline): re-checked %d/%d", n, n),
 		"injected filter:",
 		fmt.Sprintf("epoch 2 (filter:%d): re-checked", filterID),
+		"session encodings: base ",
+		"(1 rebuilds)",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())

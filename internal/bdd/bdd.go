@@ -10,6 +10,12 @@
 // checker is provided: And, Or, Xor, Not, Diff, plus satisfiability
 // counting and cube enumeration used by tests and the missing-rule
 // extractor.
+//
+// A manager can be frozen into an immutable Snapshot (Freeze) and forked
+// (NewManagerFrom): forks extend the frozen node-ID prefix with a private
+// delta, so any number of forks share the snapshot's nodes lock-free
+// while building their own. This is how the equivalence checker shares
+// one warm encoding base across check-stage workers.
 package bdd
 
 import (
@@ -18,7 +24,9 @@ import (
 )
 
 // Node identifies a BDD node within its Manager. The terminals False and
-// True are pre-allocated in every manager.
+// True are pre-allocated in every manager. Node IDs are stable across
+// Freeze/NewManagerFrom: a node built against a snapshot's manager keeps
+// its ID in every fork of that snapshot.
 type Node int32
 
 // Terminal nodes.
@@ -52,14 +60,61 @@ type opKey struct {
 
 const terminalLevel = math.MaxInt32
 
-// Manager owns a shared BDD node pool over a fixed number of boolean
-// variables. Variable 0 is the topmost in the ordering. A Manager is not
-// safe for concurrent use.
-type Manager struct {
+// Snapshot is an immutable, frozen view of a manager's node pool: the
+// node array, the unique table, and the operation cache at freeze time.
+// A Snapshot is safe for lock-free concurrent reads — any number of
+// goroutines may fork managers from it (NewManagerFrom), evaluate its
+// nodes (Eval), or share it between checkers; nothing ever mutates it.
+type Snapshot struct {
 	numVars int
 	nodes   []nodeData
 	unique  map[nodeKey]Node
 	cache   map[opKey]Node
+	pow2    []float64
+}
+
+// NumVars returns the number of variables in the snapshot's ordering.
+func (s *Snapshot) NumVars() int { return s.numVars }
+
+// Size returns the number of frozen nodes (including the two terminals).
+func (s *Snapshot) Size() int { return len(s.nodes) }
+
+// Contains reports whether n is a node of the frozen prefix (valid in
+// every fork of this snapshot).
+func (s *Snapshot) Contains(n Node) bool { return n >= 0 && int(n) < len(s.nodes) }
+
+// Eval evaluates a frozen node under the given full assignment (indexed
+// by variable). It is safe for concurrent use.
+func (s *Snapshot) Eval(n Node, assignment []bool) bool {
+	for n != False && n != True {
+		d := s.nodes[n]
+		if assignment[d.level] {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == True
+}
+
+// Manager owns a shared BDD node pool over a fixed number of boolean
+// variables. Variable 0 is the topmost in the ordering. A Manager is not
+// safe for concurrent use; share work across goroutines by freezing one
+// manager and forking it per goroutine instead.
+type Manager struct {
+	numVars int
+	// base is the frozen prefix this manager extends (nil for standalone
+	// managers). Node IDs < baseLen resolve through base; IDs >= baseLen
+	// index nodes (the private delta) at offset -baseLen.
+	base    *Snapshot
+	baseLen int
+	frozen  bool
+	nodes   []nodeData
+	unique  map[nodeKey]Node
+	cache   map[opKey]Node
+	// pow2[i] = 2^i for i in [0, numVars], precomputed once so SatCount's
+	// per-node visits avoid math.Pow (hot in the missing-rule extractor).
+	pow2 []float64
 }
 
 // NewManager creates a manager over numVars boolean variables.
@@ -69,17 +124,79 @@ func NewManager(numVars int) *Manager {
 		nodes:   make([]nodeData, 2, 1024),
 		unique:  make(map[nodeKey]Node, 1024),
 		cache:   make(map[opKey]Node, 1024),
+		pow2:    pow2Table(numVars),
 	}
 	m.nodes[False] = nodeData{level: terminalLevel}
 	m.nodes[True] = nodeData{level: terminalLevel}
 	return m
 }
 
+// NewManagerFrom creates a manager extending the frozen snapshot: every
+// snapshot node keeps its ID and meaning, and new nodes are interned in a
+// private delta starting at ID snapshot.Size(). Creating a fork is O(1)
+// — no node copying — so per-worker forks of a large shared base are
+// cheap, and discarding one (building a replacement fork) discards only
+// its delta.
+func NewManagerFrom(s *Snapshot) *Manager {
+	return &Manager{
+		numVars: s.numVars,
+		base:    s,
+		baseLen: len(s.nodes),
+		unique:  make(map[nodeKey]Node, 1024),
+		cache:   make(map[opKey]Node, 1024),
+		pow2:    s.pow2,
+	}
+}
+
+// Freeze seals the manager's node pool into an immutable Snapshot and
+// marks the manager frozen: any further node construction panics, which
+// is what guarantees the snapshot's readers never race a writer. Freeze
+// is for standalone managers (the warmup pass); freezing a fork panics —
+// re-freeze-and-extend is not supported.
+func (m *Manager) Freeze() *Snapshot {
+	if m.base != nil {
+		panic("bdd: Freeze on a forked manager is not supported")
+	}
+	m.frozen = true
+	return &Snapshot{
+		numVars: m.numVars,
+		nodes:   m.nodes,
+		unique:  m.unique,
+		cache:   m.cache,
+		pow2:    m.pow2,
+	}
+}
+
+func pow2Table(numVars int) []float64 {
+	t := make([]float64, numVars+1)
+	p := 1.0
+	for i := range t {
+		t[i] = p
+		p *= 2
+	}
+	return t
+}
+
 // NumVars returns the number of variables in the ordering.
 func (m *Manager) NumVars() int { return m.numVars }
 
-// Size returns the number of live nodes (including the two terminals).
-func (m *Manager) Size() int { return len(m.nodes) }
+// Size returns the number of live nodes reachable through this manager
+// (including the two terminals and, for forks, the whole frozen base).
+func (m *Manager) Size() int { return m.baseLen + len(m.nodes) }
+
+// DeltaSize returns the number of nodes owned by this manager itself:
+// everything beyond the frozen base for forks, Size() for standalone
+// managers. Node budgets on long-lived forks watch DeltaSize — the base
+// is shared and immutable, only the delta is this manager's to shed.
+func (m *Manager) DeltaSize() int { return len(m.nodes) }
+
+// node resolves a node ID through the frozen base or the private delta.
+func (m *Manager) node(n Node) nodeData {
+	if int(n) < m.baseLen {
+		return m.base.nodes[n]
+	}
+	return m.nodes[int(n)-m.baseLen]
+}
 
 // Var returns the BDD for the single variable v (true branch to True).
 func (m *Manager) Var(v int) Node {
@@ -98,15 +215,26 @@ func (m *Manager) NVar(v int) Node {
 }
 
 // mk interns the node (level, lo, hi), applying the ROBDD reduction rule.
+// Nodes already interned in the frozen base resolve to their base ID, so
+// forks sharing a base agree on the identity of every base-expressible
+// function.
 func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
 	key := nodeKey{level: level, lo: lo, hi: hi}
+	if m.base != nil {
+		if n, ok := m.base.unique[key]; ok {
+			return n
+		}
+	}
 	if n, ok := m.unique[key]; ok {
 		return n
 	}
-	n := Node(len(m.nodes))
+	if m.frozen {
+		panic("bdd: node construction on a frozen manager")
+	}
+	n := Node(m.baseLen + len(m.nodes))
 	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
 	m.unique[key] = n
 	return n
@@ -136,6 +264,13 @@ func (m *Manager) Implies(a, b Node) bool { return m.Diff(a, b) == False }
 func (m *Manager) Equiv(a, b Node) bool { return a == b }
 
 func (m *Manager) apply(op opKind, a, b Node) Node {
+	// A frozen manager's unique table and op cache are shared with its
+	// snapshot's readers; even a cache-hit lookup here would race the
+	// write below, so operations are cut off wholesale. (Reads — Eval,
+	// SatCount, AllSat — stay valid; they never touch the caches.)
+	if m.frozen {
+		panic("bdd: boolean operations on a frozen manager")
+	}
 	// Terminal short-circuits.
 	switch op {
 	case opAnd:
@@ -177,11 +312,19 @@ func (m *Manager) apply(op opKind, a, b Node) Node {
 		ca, cb = cb, ca
 	}
 	key := opKey{op: op, a: ca, b: cb}
+	// The base's frozen operation cache answers for operations whose
+	// operands and result all predate the freeze — the warm encodings a
+	// fork exists to reuse.
+	if m.base != nil {
+		if r, ok := m.base.cache[key]; ok {
+			return r
+		}
+	}
 	if r, ok := m.cache[key]; ok {
 		return r
 	}
 
-	da, db := m.nodes[a], m.nodes[b]
+	da, db := m.node(a), m.node(b)
 	var level int32
 	var aLo, aHi, bLo, bHi Node
 	switch {
@@ -241,20 +384,20 @@ func (m *Manager) SatCount(n Node) float64 {
 		if c, ok := memo[n]; ok {
 			return c
 		}
-		d := m.nodes[n]
+		d := m.node(n)
 		loLevel := m.levelOf(d.lo)
 		hiLevel := m.levelOf(d.hi)
-		c := count(d.lo)*math.Pow(2, float64(loLevel-d.level-1)) +
-			count(d.hi)*math.Pow(2, float64(hiLevel-d.level-1))
+		c := count(d.lo)*m.pow2[loLevel-d.level-1] +
+			count(d.hi)*m.pow2[hiLevel-d.level-1]
 		memo[n] = c
 		return c
 	}
 	top := m.levelOf(n)
-	return count(n) * math.Pow(2, float64(top))
+	return count(n) * m.pow2[top]
 }
 
 func (m *Manager) levelOf(n Node) int32 {
-	l := m.nodes[n].level
+	l := m.node(n).level
 	if l == terminalLevel {
 		return int32(m.numVars)
 	}
@@ -289,7 +432,7 @@ func (m *Manager) allSat(n Node, cube []Lit, fn func([]Lit) bool) bool {
 	if n == True {
 		return fn(cube)
 	}
-	d := m.nodes[n]
+	d := m.node(n)
 	v := int(d.level)
 	cube[v] = LitFalse
 	if !m.allSat(d.lo, cube, fn) {
@@ -308,7 +451,7 @@ func (m *Manager) allSat(n Node, cube []Lit, fn func([]Lit) bool) bool {
 // Eval evaluates n under the given full assignment (indexed by variable).
 func (m *Manager) Eval(n Node, assignment []bool) bool {
 	for n != False && n != True {
-		d := m.nodes[n]
+		d := m.node(n)
 		if assignment[d.level] {
 			n = d.hi
 		} else {
@@ -319,7 +462,7 @@ func (m *Manager) Eval(n Node, assignment []bool) bool {
 }
 
 // ClearCache drops the operation cache (the unique table is kept so node
-// identity is preserved). Useful between large unrelated computations.
+// identity is preserved). A fork's frozen base cache is unaffected.
 func (m *Manager) ClearCache() {
 	m.cache = make(map[opKey]Node, 1024)
 }

@@ -1,0 +1,198 @@
+package bdd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestFreezeForkIdentity pins the fork contract: nodes built before the
+// freeze keep their IDs and meaning in every fork, base-expressible
+// functions resolve to base IDs (never duplicated into the delta), and
+// distinct forks agree on those IDs.
+func TestFreezeForkIdentity(t *testing.T) {
+	m := NewManager(6)
+	ab := m.And(m.Var(0), m.Var(1))
+	cd := m.Or(m.Var(2), m.NVar(3))
+	snap := m.Freeze()
+
+	f1 := NewManagerFrom(snap)
+	f2 := NewManagerFrom(snap)
+	if f1.Size() != snap.Size() || f1.DeltaSize() != 0 {
+		t.Fatalf("fresh fork: Size=%d DeltaSize=%d, want %d and 0", f1.Size(), f1.DeltaSize(), snap.Size())
+	}
+	// Rebuilding a frozen function in a fork must yield the frozen ID,
+	// not a delta node.
+	if got := f1.And(f1.Var(0), f1.Var(1)); got != ab {
+		t.Errorf("fork rebuild of a∧b = node %d, want frozen node %d", got, ab)
+	}
+	if f1.DeltaSize() != 0 {
+		t.Errorf("base-expressible rebuild allocated %d delta nodes", f1.DeltaSize())
+	}
+	// New functions extend the frozen prefix.
+	x := f1.And(ab, cd)
+	if int(x) < snap.Size() {
+		t.Errorf("fresh conjunction landed in the frozen prefix: node %d", x)
+	}
+	if !snap.Contains(ab) || snap.Contains(x) {
+		t.Error("Contains must separate frozen prefix from fork delta")
+	}
+	// Forks agree on every base ID even after divergent private work.
+	_ = f2.Xor(f2.Var(4), f2.Var(5))
+	if f2.And(f2.Var(0), f2.Var(1)) != ab {
+		t.Error("forks must agree on base-expressible node IDs")
+	}
+}
+
+// TestForkMatchesStandalone is the fork soundness property: any formula
+// evaluated through a fork (mixing frozen and delta nodes) denotes the
+// same boolean function a standalone manager computes.
+func TestForkMatchesStandalone(t *testing.T) {
+	const nVars = 6
+	base := NewManager(nVars)
+	rng := rand.New(rand.NewSource(1))
+	// Warm the base with some frozen structure first.
+	for i := 0; i < 5; i++ {
+		randomFormula(base, rng, 3)
+	}
+	snap := base.Freeze()
+
+	f := func(seed int64) bool {
+		fork := NewManagerFrom(snap)
+		rng := rand.New(rand.NewSource(seed))
+		n, tt := randomFormula(fork, rng, 5)
+		for a := uint(0); a < 1<<nVars; a++ {
+			assign := make([]bool, nVars)
+			for v := 0; v < nVars; v++ {
+				assign[v] = a&(1<<v) != 0
+			}
+			if fork.Eval(n, assign) != tt[a] {
+				return false
+			}
+			// Frozen nodes also evaluate directly through the snapshot.
+			if snap.Contains(n) && snap.Eval(n, assign) != tt[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrozenManagerPanics pins the freeze contract: the frozen manager
+// rejects further construction and operations (its tables are shared
+// with concurrent snapshot readers), while reads stay valid.
+func TestFrozenManagerPanics(t *testing.T) {
+	m := NewManager(4)
+	ab := m.And(m.Var(0), m.Var(1))
+	m.Freeze()
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a frozen manager must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Or", func() { m.Or(ab, m.Var(2)) })
+	mustPanic("And", func() { m.And(True, True) }) // even a cache-hit-free terminal case
+	mustPanic("Cube", func() { m.Cube(map[int]bool{2: true, 3: false}) })
+
+	if !m.Eval(ab, []bool{true, true, false, false}) {
+		t.Error("Eval must keep working after Freeze")
+	}
+	if m.SatCount(ab) != 4 {
+		t.Errorf("SatCount after Freeze = %v, want 4", m.SatCount(ab))
+	}
+}
+
+// TestFreezeForkPanics: re-freezing a fork is unsupported.
+func TestFreezeForkPanics(t *testing.T) {
+	snap := NewManager(2).Freeze()
+	fork := NewManagerFrom(snap)
+	defer func() {
+		if recover() == nil {
+			t.Error("Freeze on a fork must panic")
+		}
+	}()
+	fork.Freeze()
+}
+
+// TestForkClearCachePreservesIdentity mirrors the standalone cache-clear
+// invariant on a fork: identity survives because both unique tables stay.
+func TestForkClearCachePreservesIdentity(t *testing.T) {
+	base := NewManager(4)
+	frozenAB := base.And(base.Var(0), base.Var(1))
+	fork := NewManagerFrom(base.Freeze())
+	x := fork.And(frozenAB, fork.Var(2))
+	fork.ClearCache()
+	if fork.And(frozenAB, fork.Var(2)) != x {
+		t.Error("fork identity must survive cache clears")
+	}
+	if fork.And(fork.Var(0), fork.Var(1)) != frozenAB {
+		t.Error("base identity must survive fork cache clears")
+	}
+}
+
+// TestSnapshotConcurrentReaders is the -race guard for the shared-base
+// design: many goroutines fork the same frozen snapshot concurrently and
+// hammer it — rebuilding frozen functions (base unique-table reads),
+// combining frozen nodes (base op-cache reads), evaluating through fork
+// and snapshot — while each builds private delta structure. Any mutation
+// of shared state under this schedule is a data race the -race CI leg
+// must catch.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	const nVars = 8
+	base := NewManager(nVars)
+	frozen := make([]Node, 0, 16)
+	for v := 0; v < nVars-1; v++ {
+		frozen = append(frozen, base.And(base.Var(v), base.Var(v+1)))
+	}
+	union := False
+	for _, n := range frozen {
+		union = base.Or(union, n)
+	}
+	frozen = append(frozen, union)
+	snap := base.Freeze()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fork := NewManagerFrom(snap)
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				// Base-expressible rebuilds must resolve to frozen IDs.
+				v := rng.Intn(nVars - 1)
+				if fork.And(fork.Var(v), fork.Var(v+1)) != frozen[v] {
+					errs <- "fork disagreed with frozen ID"
+					return
+				}
+				// Mixed frozen/delta work.
+				n := fork.Diff(frozen[len(frozen)-1], frozen[rng.Intn(len(frozen))])
+				assign := make([]bool, nVars)
+				for j := range assign {
+					assign[j] = rng.Intn(2) == 0
+				}
+				want := fork.Eval(n, assign)
+				if snap.Contains(n) && snap.Eval(n, assign) != want {
+					errs <- "snapshot Eval disagreed with fork Eval"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

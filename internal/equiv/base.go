@@ -1,0 +1,165 @@
+// Shared encoding base for the check-stage fan-out: the distinct
+// rule.Matches of a deployment are encoded exactly once into one BDD
+// manager, which is then frozen into an immutable snapshot that every
+// worker's checker forks. Without it, each check-stage worker owns a
+// private manager and re-derives every match encoding shared across its
+// switches — duplicated node construction that grows with the worker
+// count and eats the parallel speedup (the ROADMAP measured ~2.5x
+// duplicated work at 4 workers on the production spec).
+
+package equiv
+
+import (
+	"sort"
+
+	"scout/internal/bdd"
+	"scout/internal/rule"
+)
+
+// Base is a frozen, immutable encoding base: a BDD snapshot holding the
+// warmed match encodings plus the memo mapping each match to its frozen
+// node. A Base is safe for concurrent use by any number of checker forks
+// — nothing ever mutates it; build a new Base when the deployment's rule
+// matches change.
+type Base struct {
+	snap     *bdd.Snapshot
+	matchMem map[rule.Match]bdd.Node
+}
+
+// NewBase encodes each match once, in the given order, and freezes the
+// result. Matches that cannot be encoded (out-of-range IDs, inverted
+// port ranges) are skipped rather than failing the build: the base is a
+// cache, and the per-switch check that owns the offending rule reports
+// the error with proper switch attribution.
+//
+// Callers wanting a deterministic base across processes should pass the
+// matches in a canonical order (SortMatches); within one process any
+// order yields an equivalent base.
+func NewBase(matches []rule.Match) *Base {
+	m := bdd.NewManager(NumVars)
+	mem := make(map[rule.Match]bdd.Node, len(matches))
+	for _, match := range matches {
+		if _, ok := mem[match]; ok {
+			continue
+		}
+		n, err := buildMatchBDD(m, match)
+		if err != nil {
+			continue
+		}
+		mem[match] = n
+	}
+	return &Base{snap: m.Freeze(), matchMem: mem}
+}
+
+// NewChecker forks the base: the returned checker resolves every warmed
+// match from the base's frozen memo and builds only novel encodings (and
+// per-check fold structure) in its private copy-on-write delta. Forking
+// is O(1); use one fork per worker goroutine.
+func (b *Base) NewChecker() *Checker {
+	return &Checker{
+		m:        bdd.NewManagerFrom(b.snap),
+		base:     b,
+		matchMem: make(map[rule.Match]bdd.Node, 1024),
+	}
+}
+
+// Size returns the number of frozen BDD nodes in the base.
+func (b *Base) Size() int { return b.snap.Size() }
+
+// NumMatches returns the number of warmed match encodings.
+func (b *Base) NumMatches() int { return len(b.matchMem) }
+
+// CollectMatches adds the distinct matches of rules into set — the
+// warmup pass's gather step, run per switch (concurrently over private
+// sets) before the merged result is encoded into a Base.
+func CollectMatches(set map[rule.Match]struct{}, rules []rule.Rule) {
+	for _, r := range rules {
+		set[r.Match] = struct{}{}
+	}
+}
+
+// SortMatches orders matches canonically (field-by-field), making a
+// Base build reproducible for a given match set.
+func SortMatches(matches []rule.Match) {
+	sort.Slice(matches, func(i, j int) bool { return matchLess(matches[i], matches[j]) })
+}
+
+func matchLess(a, b rule.Match) bool {
+	if a.VRF != b.VRF {
+		return a.VRF < b.VRF
+	}
+	if a.SrcEPG != b.SrcEPG {
+		return a.SrcEPG < b.SrcEPG
+	}
+	if a.DstEPG != b.DstEPG {
+		return a.DstEPG < b.DstEPG
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.PortLo != b.PortLo {
+		return a.PortLo < b.PortLo
+	}
+	if a.PortHi != b.PortHi {
+		return a.PortHi < b.PortHi
+	}
+	if a.WildcardVRF != b.WildcardVRF {
+		return b.WildcardVRF
+	}
+	if a.WildcardSrc != b.WildcardSrc {
+		return b.WildcardSrc
+	}
+	return !a.WildcardDst && b.WildcardDst
+}
+
+// EncodeStats aggregates the encoding work behind one analysis run:
+// where the BDD nodes live (shared base vs per-checker deltas) and where
+// match encodings were resolved from. It is the assertion surface for
+// the shared-base design — cross-worker duplicated node construction
+// shows up as DeltaNodes growth with the worker count.
+type EncodeStats struct {
+	// Checkers is the number of checkers aggregated (the worker count).
+	Checkers int
+	// BaseNodes is the size of the shared frozen base; 0 when the run
+	// used private per-worker checkers.
+	BaseNodes int
+	// BaseMatches is the number of match encodings warmed in the base.
+	BaseMatches int
+	// DeltaNodes sums every checker's private node count.
+	DeltaNodes int
+	// BaseHits, LocalHits, and Misses sum the checkers' cumulative
+	// encoding counters (see CheckerStats).
+	BaseHits  int
+	LocalHits int
+	Misses    int
+}
+
+// TotalNodes is the run's total BDD node construction: the shared base
+// (built once) plus every private delta.
+func (s *EncodeStats) TotalNodes() int { return s.BaseNodes + s.DeltaNodes }
+
+// Hits is the total memo-resolved encodings (base + local).
+func (s *EncodeStats) Hits() int { return s.BaseHits + s.LocalHits }
+
+// AggregateEncodeStats sums the encoding counters of a run's checkers
+// over their shared base (nil for private-checker runs). Nil checker
+// slots (workers that never started) are skipped.
+func AggregateEncodeStats(base *Base, checkers []*Checker) *EncodeStats {
+	st := &EncodeStats{}
+	if base != nil {
+		st.BaseNodes = base.Size()
+		st.BaseMatches = base.NumMatches()
+	}
+	for _, c := range checkers {
+		if c == nil {
+			continue
+		}
+		st.Checkers++
+		st.DeltaNodes += c.DeltaSize()
+		cs := c.Stats()
+		st.BaseHits += cs.BaseHits
+		st.LocalHits += cs.LocalHits
+		st.Misses += cs.Misses
+	}
+	return st
+}

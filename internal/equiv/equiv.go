@@ -41,12 +41,27 @@ const maxID = 1<<vrfBits - 1
 // Checker owns a BDD manager and memoizes per-rule encodings, so reusing
 // one Checker across many switches amortizes node construction. Not safe
 // for concurrent use.
+//
+// A checker is either standalone (NewChecker: private manager, every
+// encoding built from scratch) or a fork of a shared Base
+// (Base.NewChecker): forks resolve match encodings through the base's
+// frozen memo first and build only what the base lacks in a private
+// copy-on-write delta, so any number of concurrent forks share one
+// node pool for the hot encodings.
 type Checker struct {
 	m        *bdd.Manager
+	base     *Base // nil for standalone checkers
 	matchMem map[rule.Match]bdd.Node
+
+	// Encoding counters, cumulative across checks and Resets: baseHits
+	// answered by the shared base's frozen memo, localHits by this
+	// checker's own memo, misses encoded from scratch.
+	baseHits  int
+	localHits int
+	misses    int
 }
 
-// NewChecker creates a checker with a fresh BDD manager.
+// NewChecker creates a standalone checker with a fresh BDD manager.
 func NewChecker() *Checker {
 	return &Checker{
 		m:        bdd.NewManager(NumVars),
@@ -54,18 +69,46 @@ func NewChecker() *Checker {
 	}
 }
 
-// Size returns the number of nodes in the checker's BDD manager — the
-// memory the checker has accumulated across checks. The manager never
-// frees nodes, so long-lived checkers (analysis sessions reusing one
-// checker per worker across runs) watch Size and Reset past a budget.
+// Size returns the number of nodes reachable through the checker's BDD
+// manager — for forks this includes the shared frozen base. The manager
+// never frees nodes, so long-lived checkers (analysis sessions reusing
+// one checker per worker across runs) watch DeltaSize and Reset past a
+// budget.
 func (c *Checker) Size() int { return c.m.Size() }
 
-// Reset discards the BDD manager and the memoized match encodings,
-// returning the checker to its freshly constructed state. Checks after a
-// Reset produce identical reports — only the amortized encoding work is
-// lost.
+// DeltaSize returns the number of nodes this checker itself owns: the
+// copy-on-write delta beyond the shared base for forks, Size() for
+// standalone checkers. Node budgets watch DeltaSize — a fork's Reset can
+// only shed its delta, never the base.
+func (c *Checker) DeltaSize() int { return c.m.DeltaSize() }
+
+// Stats returns the checker's cumulative encoding counters.
+func (c *Checker) Stats() CheckerStats {
+	return CheckerStats{BaseHits: c.baseHits, LocalHits: c.localHits, Misses: c.misses}
+}
+
+// CheckerStats counts where one checker's match encodings came from.
+type CheckerStats struct {
+	// BaseHits were answered by the shared base's frozen memo (always 0
+	// for standalone checkers).
+	BaseHits int
+	// LocalHits were answered by the checker's own memo.
+	LocalHits int
+	// Misses were encoded from scratch into the checker's manager.
+	Misses int
+}
+
+// Reset discards the checker's own BDD nodes and memoized match
+// encodings, returning it to its freshly constructed state: standalone
+// checkers rebuild an empty manager, forks re-fork their shared base and
+// lose only the delta. Checks after a Reset produce identical reports —
+// only the amortized encoding work is lost. Encoding counters survive.
 func (c *Checker) Reset() {
-	c.m = bdd.NewManager(NumVars)
+	if c.base != nil {
+		c.m = bdd.NewManagerFrom(c.base.snap)
+	} else {
+		c.m = bdd.NewManager(NumVars)
+	}
 	c.matchMem = make(map[rule.Match]bdd.Node, 1024)
 }
 
@@ -185,87 +228,107 @@ func (c *Checker) orTree(nodes []bdd.Node) bdd.Node {
 	return c.m.Or(c.orTree(nodes[:mid]), c.orTree(nodes[mid:]))
 }
 
-// encodeMatch builds (and memoizes) the BDD of header tuples covered by m.
+// encodeMatch resolves (and memoizes) the BDD of header tuples covered
+// by m: the shared base's frozen memo first (node IDs from the base are
+// valid in every fork), then the checker's own memo, then a fresh encode
+// into the checker's manager.
 func (c *Checker) encodeMatch(m rule.Match) (bdd.Node, error) {
+	if c.base != nil {
+		if n, ok := c.base.matchMem[m]; ok {
+			c.baseHits++
+			return n, nil
+		}
+	}
 	if n, ok := c.matchMem[m]; ok {
+		c.localHits++
 		return n, nil
 	}
-	n := bdd.True
-	if !m.WildcardVRF {
-		if m.VRF > maxID {
-			return bdd.False, fmt.Errorf("vrf id %d exceeds %d-bit encoding", m.VRF, vrfBits)
-		}
-		n = c.m.And(n, c.equals(vrfOff, vrfBits, uint32(m.VRF)))
+	n, err := buildMatchBDD(c.m, m)
+	if err != nil {
+		return bdd.False, err
 	}
-	if !m.WildcardSrc {
-		if m.SrcEPG > maxID {
-			return bdd.False, fmt.Errorf("src epg id %d exceeds %d-bit encoding", m.SrcEPG, epgBits)
-		}
-		n = c.m.And(n, c.equals(srcOff, epgBits, uint32(m.SrcEPG)))
-	}
-	if !m.WildcardDst {
-		if m.DstEPG > maxID {
-			return bdd.False, fmt.Errorf("dst epg id %d exceeds %d-bit encoding", m.DstEPG, epgBits)
-		}
-		n = c.m.And(n, c.equals(dstOff, epgBits, uint32(m.DstEPG)))
-	}
-	if m.Proto != rule.ProtoAny {
-		n = c.m.And(n, c.equals(protoOff, protoBits, uint32(m.Proto)))
-	}
-	if !(m.PortLo == 0 && m.PortHi == rule.PortMax) {
-		if m.PortLo > m.PortHi {
-			return bdd.False, fmt.Errorf("inverted port range %d-%d", m.PortLo, m.PortHi)
-		}
-		n = c.m.And(n, c.rangeBDD(portOff, portBits, uint32(m.PortLo), uint32(m.PortHi)))
-	}
+	c.misses++
 	c.matchMem[m] = n
 	return n, nil
 }
 
-// equals encodes field == value over width bits starting at variable off
-// (most-significant bit at the lowest variable index).
-func (c *Checker) equals(off, width int, value uint32) bdd.Node {
+// buildMatchBDD builds the BDD of header tuples covered by match in m.
+func buildMatchBDD(m *bdd.Manager, match rule.Match) (bdd.Node, error) {
+	n := bdd.True
+	if !match.WildcardVRF {
+		if match.VRF > maxID {
+			return bdd.False, fmt.Errorf("vrf id %d exceeds %d-bit encoding", match.VRF, vrfBits)
+		}
+		n = m.And(n, equalsBDD(m, vrfOff, vrfBits, uint32(match.VRF)))
+	}
+	if !match.WildcardSrc {
+		if match.SrcEPG > maxID {
+			return bdd.False, fmt.Errorf("src epg id %d exceeds %d-bit encoding", match.SrcEPG, epgBits)
+		}
+		n = m.And(n, equalsBDD(m, srcOff, epgBits, uint32(match.SrcEPG)))
+	}
+	if !match.WildcardDst {
+		if match.DstEPG > maxID {
+			return bdd.False, fmt.Errorf("dst epg id %d exceeds %d-bit encoding", match.DstEPG, epgBits)
+		}
+		n = m.And(n, equalsBDD(m, dstOff, epgBits, uint32(match.DstEPG)))
+	}
+	if match.Proto != rule.ProtoAny {
+		n = m.And(n, equalsBDD(m, protoOff, protoBits, uint32(match.Proto)))
+	}
+	if !(match.PortLo == 0 && match.PortHi == rule.PortMax) {
+		if match.PortLo > match.PortHi {
+			return bdd.False, fmt.Errorf("inverted port range %d-%d", match.PortLo, match.PortHi)
+		}
+		n = m.And(n, rangeBDD(m, portOff, portBits, uint32(match.PortLo), uint32(match.PortHi)))
+	}
+	return n, nil
+}
+
+// equalsBDD encodes field == value over width bits starting at variable
+// off (most-significant bit at the lowest variable index).
+func equalsBDD(m *bdd.Manager, off, width int, value uint32) bdd.Node {
 	lits := make(map[int]bool, width)
 	for i := 0; i < width; i++ {
 		bit := (value >> uint(width-1-i)) & 1
 		lits[off+i] = bit == 1
 	}
-	return c.m.Cube(lits)
+	return m.Cube(lits)
 }
 
 // rangeBDD encodes lo <= field <= hi over width bits starting at off.
-func (c *Checker) rangeBDD(off, width int, lo, hi uint32) bdd.Node {
-	return c.m.And(c.geBDD(off, width, 0, lo), c.leBDD(off, width, 0, hi))
+func rangeBDD(m *bdd.Manager, off, width int, lo, hi uint32) bdd.Node {
+	return m.And(geBDD(m, off, width, 0, lo), leBDD(m, off, width, 0, hi))
 }
 
 // leBDD encodes field <= value considering bits [i, width).
-func (c *Checker) leBDD(off, width, i int, value uint32) bdd.Node {
+func leBDD(m *bdd.Manager, off, width, i int, value uint32) bdd.Node {
 	if i == width {
 		return bdd.True
 	}
-	v := c.m.Var(off + i)
-	rest := c.leBDD(off, width, i+1, value)
+	v := m.Var(off + i)
+	rest := leBDD(m, off, width, i+1, value)
 	if (value>>uint(width-1-i))&1 == 1 {
 		// bit set: x_i=0 → anything below; x_i=1 → compare remaining bits
-		return c.m.Or(c.m.Not(v), c.m.And(v, rest))
+		return m.Or(m.Not(v), m.And(v, rest))
 	}
 	// bit clear: x_i=1 → greater, fail; x_i=0 → compare remaining bits
-	return c.m.And(c.m.Not(v), rest)
+	return m.And(m.Not(v), rest)
 }
 
 // geBDD encodes field >= value considering bits [i, width).
-func (c *Checker) geBDD(off, width, i int, value uint32) bdd.Node {
+func geBDD(m *bdd.Manager, off, width, i int, value uint32) bdd.Node {
 	if i == width {
 		return bdd.True
 	}
-	v := c.m.Var(off + i)
-	rest := c.geBDD(off, width, i+1, value)
+	v := m.Var(off + i)
+	rest := geBDD(m, off, width, i+1, value)
 	if (value>>uint(width-1-i))&1 == 1 {
 		// bit set: x_i=0 → smaller, fail; x_i=1 → compare remaining bits
-		return c.m.And(v, rest)
+		return m.And(v, rest)
 	}
 	// bit clear: x_i=1 → anything above; x_i=0 → compare remaining bits
-	return c.m.Or(v, c.m.And(c.m.Not(v), rest))
+	return m.Or(v, m.And(m.Not(v), rest))
 }
 
 // NaiveCheck is a key-set differ used as a test oracle and ablation

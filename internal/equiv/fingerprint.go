@@ -8,7 +8,9 @@ package equiv
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sort"
 
+	"scout/internal/object"
 	"scout/internal/rule"
 )
 
@@ -57,4 +59,39 @@ func Fingerprint(rules []rule.Rule) uint64 {
 		}
 	}
 	return h.Sum64()
+}
+
+// DeploymentFingerprint hashes a whole deployment's per-switch rule
+// lists (in ascending switch-ID order) into one 64-bit key. It is the
+// invalidation key for deployment-scoped caches — a Session's shared
+// encoding Base persists across runs while the deployment fingerprint is
+// unchanged and rebuilds when it moves. The same collision caveat as
+// Fingerprint applies.
+func DeploymentFingerprint(bySwitch map[object.ID][]rule.Rule) uint64 {
+	_, fp := DeploymentFingerprints(bySwitch)
+	return fp
+}
+
+// DeploymentFingerprints is DeploymentFingerprint exposing its
+// intermediate per-switch fingerprints, so a caller that also needs
+// those (a Session partitioning switches into replays and re-checks)
+// hashes each rule list exactly once.
+func DeploymentFingerprints(bySwitch map[object.ID][]rule.Rule) (map[object.ID]uint64, uint64) {
+	switches := make([]object.ID, 0, len(bySwitch))
+	for sw := range bySwitch {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	perSwitch := make(map[object.ID]uint64, len(switches))
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, sw := range switches {
+		fp := Fingerprint(bySwitch[sw])
+		perSwitch[sw] = fp
+		binary.LittleEndian.PutUint64(buf[:], uint64(sw))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], fp)
+		h.Write(buf[:])
+	}
+	return perSwitch, h.Sum64()
 }

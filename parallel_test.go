@@ -3,6 +3,7 @@ package scout_test
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -98,6 +99,85 @@ func TestParallelAnalyzeDeterministic(t *testing.T) {
 			t.Errorf("Workers=%d report differs from serial:\nserial:   %s\nparallel: %s",
 				workers, serial, got)
 		}
+	}
+}
+
+// TestSharedBaseIdentity is the identity regression for the frozen
+// shared BDD base: analyses through base+fork checkers and through
+// private per-worker checkers must produce byte-identical reports at
+// worker counts 1, 2, and NumCPU — the base moves encoding work, never
+// check results.
+func TestSharedBaseIdentity(t *testing.T) {
+	f := faultyFabric(t, 7)
+	baseline := reportJSON(t, f, scout.AnalyzerOptions{Workers: 1, PrivateCheckers: true})
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		for _, private := range []bool{false, true} {
+			got := reportJSON(t, f, scout.AnalyzerOptions{Workers: workers, PrivateCheckers: private})
+			if !bytes.Equal(baseline, got) {
+				t.Errorf("Workers=%d PrivateCheckers=%v report differs from serial private baseline",
+					workers, private)
+			}
+		}
+	}
+}
+
+// TestSharedBaseEncodeStats pins the observable difference between the
+// two checker modes: shared-base runs report the base and resolve warmed
+// encodings from it; private runs re-encode everything per worker.
+func TestSharedBaseEncodeStats(t *testing.T) {
+	f := faultyFabric(t, 7)
+	analyze := func(opts scout.AnalyzerOptions) *scout.Report {
+		t.Helper()
+		rep, err := scout.NewAnalyzer(opts).Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EncodeStats == nil {
+			t.Fatal("BDD-checker analysis must report EncodeStats")
+		}
+		return rep
+	}
+
+	shared := analyze(scout.AnalyzerOptions{Workers: 4}).EncodeStats
+	private := analyze(scout.AnalyzerOptions{Workers: 4, PrivateCheckers: true}).EncodeStats
+
+	if shared.BaseNodes == 0 || shared.BaseMatches == 0 {
+		t.Errorf("shared mode must build a base: %+v", shared)
+	}
+	if shared.BaseHits == 0 {
+		t.Errorf("shared mode must resolve encodings from the base: %+v", shared)
+	}
+	if private.BaseNodes != 0 || private.BaseHits != 0 {
+		t.Errorf("private mode must not touch a base: %+v", private)
+	}
+	if private.Misses == 0 {
+		t.Errorf("private mode must encode from scratch: %+v", private)
+	}
+	// The headline claim: with the base, warmed encodings are never
+	// re-derived per worker — a shared run's from-scratch encodes are
+	// only the novel (corrupted) matches, and its total node
+	// construction never exceeds the private mode's. (Strict reduction
+	// depends on how the scheduler spreads switches across workers; the
+	// sharedbdd experiment measures it on a spec built to show it.)
+	if shared.Misses >= private.Misses {
+		t.Errorf("shared mode missed %d encodings, private %d — base not consulted",
+			shared.Misses, private.Misses)
+	}
+	// 10% slack: which worker checks which switch is scheduling-
+	// dependent, and per-worker fold structure (unlike match encodings)
+	// still duplicates across forks.
+	if shared.TotalNodes() > private.TotalNodes()+private.TotalNodes()/10 {
+		t.Errorf("shared total nodes %d exceed private total %d",
+			shared.TotalNodes(), private.TotalNodes())
+	}
+
+	// Modes without BDD checkers carry no stats.
+	naive, err := scout.NewAnalyzer(scout.AnalyzerOptions{UseNaiveChecker: true}).Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.EncodeStats != nil {
+		t.Error("naive-checker analysis must not report EncodeStats")
 	}
 }
 

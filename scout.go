@@ -85,11 +85,20 @@ type AnalyzerOptions struct {
 	// Workers bounds the number of concurrent per-switch equivalence
 	// checks. L-T checks are independent across switches (§III-C checks
 	// each switch on its own), so the check stage fans out over a pool of
-	// Workers goroutines, each owning a private equiv.Checker; results are
+	// Workers goroutines, each owning its own equiv.Checker; results are
 	// folded back serially in ascending switch-ID order, so reports are
 	// byte-for-byte identical for any worker count. 0 (the default)
 	// selects runtime.NumCPU(); 1 restores the fully serial pipeline.
 	Workers int
+
+	// PrivateCheckers disables the shared frozen BDD base: every check
+	// worker builds a private equiv.Checker from scratch instead of
+	// forking a base warmed with the deployment's match encodings. This
+	// is the pre-shared-base behaviour, kept for ablation (the sharedbdd
+	// experiment measures the duplicated node construction it causes).
+	// Reports are byte-identical either way — the base only moves where
+	// encoding work happens, never what a check returns.
+	PrivateCheckers bool
 }
 
 // Analyzer runs the SCOUT pipeline against a fabric.
@@ -143,6 +152,14 @@ type Report struct {
 	// so it is excluded from the JSON form; its String() reports
 	// overlay-aware element/edge/failure counts.
 	ControllerView risk.View `json:"-"`
+	// EncodeStats summarizes the check stage's BDD encoding work: the
+	// shared frozen base's size, every worker checker's private delta,
+	// and where match encodings were resolved from. Nil for observation
+	// sources without BDD checkers (naive differ, probes). Like
+	// ControllerView it is diagnostics, not result: it is excluded from
+	// the JSON form so reports stay byte-identical across worker counts
+	// and checker modes.
+	EncodeStats *equiv.EncodeStats `json:"-"`
 	// Hypothesis is the controller-model hypothesis: the minimal set of
 	// most-likely faulty policy objects (may include switch objects).
 	Hypothesis []object.Ref
@@ -217,13 +234,15 @@ func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
 	}
 	st = st.withDefaultLogs()
 	switches := st.sortedSwitches()
-	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+	pool := a.newCheckerPool(a.buildSharedBase(st.Deployment), a.workers(len(switches)))
+	reports, err := a.checkAllWith(switches, pool.checker, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 		return a.checkState(st, c, sw)
 	})
 	if err != nil {
 		return nil, err
 	}
 	rep := a.assemble(a.controllerModel(st.Deployment), st.Deployment, st.Changes, st.Faults, st.Now, switches, reports)
+	rep.EncodeStats = pool.stats()
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -271,13 +290,97 @@ func (a *Analyzer) checkState(st State, c *equiv.Checker, sw object.ID) (*equiv.
 // state, since checkAll invokes them concurrently.
 type checkFunc func(c *equiv.Checker, sw object.ID) (*equiv.Report, error)
 
-// newWorkerChecker builds the per-worker BDD checker, or nil when the
-// configured observation source never uses one.
+// newWorkerChecker builds a private per-worker BDD checker, or nil when
+// the configured observation source never uses one.
 func (a *Analyzer) newWorkerChecker() *equiv.Checker {
+	return a.newWorkerCheckerFrom(nil)
+}
+
+// newWorkerCheckerFrom builds a worker checker as a fork of the shared
+// base when one was built, a private checker otherwise, and nil when the
+// configured observation source never uses one.
+func (a *Analyzer) newWorkerCheckerFrom(base *equiv.Base) *equiv.Checker {
 	if a.opts.UseNaiveChecker || a.opts.UseProbes {
 		return nil
 	}
+	if base != nil {
+		return base.NewChecker()
+	}
 	return equiv.NewChecker()
+}
+
+// buildSharedBase is the check stage's warmup pass: it gathers the
+// distinct rule matches across the deployment — fanned out per switch
+// over the worker pool — encodes each exactly once, and freezes the
+// result into an immutable base every worker's checker forks. Nil when
+// the options call for private checkers or no BDD checkers at all.
+//
+// The base covers logical matches only: deployed TCAM rules are the
+// deployment's rules minus faults, so in the common near-consistent case
+// virtually every deployed match is warm too, while corrupted entries'
+// novel matches land in the owning worker's copy-on-write delta. Keying
+// the base off the deployment alone is what lets a Session reuse it
+// across runs whose TCAM state drifts.
+func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
+	if a.opts.UseNaiveChecker || a.opts.UseProbes || a.opts.PrivateCheckers {
+		return nil
+	}
+	switches := make([]object.ID, 0, len(d.BySwitch))
+	for sw := range d.BySwitch {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	sets := make([]map[rule.Match]struct{}, len(switches))
+	a.forEach(len(switches), func(i int) {
+		rules := d.BySwitch[switches[i]]
+		set := make(map[rule.Match]struct{}, len(rules))
+		equiv.CollectMatches(set, rules)
+		sets[i] = set
+	})
+	merged := make(map[rule.Match]struct{})
+	for _, set := range sets {
+		for m := range set {
+			merged[m] = struct{}{}
+		}
+	}
+	matches := make([]rule.Match, 0, len(merged))
+	for m := range merged {
+		matches = append(matches, m)
+	}
+	equiv.SortMatches(matches)
+	return equiv.NewBase(matches)
+}
+
+// checkerPool hands each check-stage worker its BDD checker — a fork of
+// the shared base when one was built, a private checker otherwise — and
+// records them so the run's encoding work can be aggregated afterwards.
+type checkerPool struct {
+	a        *Analyzer
+	base     *equiv.Base
+	checkers []*equiv.Checker
+}
+
+// newCheckerPool sizes the pool for the given worker count. Slot k is
+// written only by worker k (checkAllWith hands each worker a distinct
+// index), so the pool needs no locking.
+func (a *Analyzer) newCheckerPool(base *equiv.Base, workers int) *checkerPool {
+	return &checkerPool{a: a, base: base, checkers: make([]*equiv.Checker, workers)}
+}
+
+// checker builds (and records) worker k's checker.
+func (p *checkerPool) checker(k int) *equiv.Checker {
+	c := p.a.newWorkerCheckerFrom(p.base)
+	p.checkers[k] = c
+	return c
+}
+
+// stats aggregates the run's encoding counters; nil when the run had no
+// BDD checkers.
+func (p *checkerPool) stats() *equiv.EncodeStats {
+	if p.a.opts.UseNaiveChecker || p.a.opts.UseProbes {
+		return nil
+	}
+	return equiv.AggregateEncodeStats(p.base, p.checkers)
 }
 
 // workers resolves the worker count for a check stage over n switches.

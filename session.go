@@ -17,7 +17,10 @@ import (
 // checker may accumulate before its manager is rebuilt. Long-lived
 // checkers never free nodes, so without a budget a session watching a
 // churning fabric would grow without bound; resetting only costs the
-// amortized encoding work.
+// amortized encoding work. The budget applies to each checker's private
+// delta only (equiv.Checker.DeltaSize): the shared frozen base is
+// deployment-scoped, immutable, and not the checker's to shed — a fork's
+// Reset re-forks the base and discards just the delta.
 const sessionCheckerNodeBudget = 4 << 20
 
 // defaultSessionMissingRuleCap is the per-switch cached-rule bound used
@@ -47,9 +50,19 @@ type Session struct {
 	a  *Analyzer
 	f  *fabric.Fabric
 
-	// checkers are the persistent per-worker BDD checkers; entry k is
-	// owned by worker k of the current run only, so memoized match
-	// encodings amortize across every run of the session.
+	// base is the shared frozen encoding base every worker checker
+	// forks: the deployment's distinct rule matches, encoded once. It
+	// persists across runs keyed by the deployment fingerprint (baseFP)
+	// — TCAM drift never invalidates it, only a changed deployment does
+	// — so warm runs reuse encodings across runs, not just within one.
+	// baseDeployment is a pointer-identity fast path past the hashing.
+	base           *equiv.Base
+	baseFP         uint64
+	baseDeployment *compile.Deployment
+
+	// checkers are the persistent per-worker BDD checkers (forks of
+	// base); entry k is owned by worker k of the current run only, so
+	// memoized match encodings amortize across every run of the session.
 	checkers []*equiv.Checker
 
 	// cache holds the newest check outcome per switch.
@@ -93,12 +106,25 @@ type SessionStats struct {
 	// Replayed counts switches whose cached report was replayed without
 	// re-checking.
 	Replayed int
-	// CheckerResets counts worker checkers rebuilt after exceeding the
-	// node budget.
+	// CheckerResets counts worker checkers rebuilt after their private
+	// delta exceeded the node budget.
 	CheckerResets int
 	// OverCap counts fresh reports too large to cache under
 	// SessionMissingRuleCap; their switches re-check on the next run.
 	OverCap int
+	// BaseRebuilds counts shared-base builds (the first build included):
+	// one per distinct deployment fingerprint the session has analyzed.
+	BaseRebuilds int
+	// BaseNodes and DeltaNodes are gauges refreshed after every run: the
+	// frozen shared base's node count and the sum of the worker
+	// checkers' private deltas.
+	BaseNodes  int
+	DeltaNodes int
+	// EncodeHits and EncodeMisses accumulate across runs: match
+	// encodings resolved from a memo (shared base or checker-local)
+	// versus encoded from scratch into a worker's delta.
+	EncodeHits   int
+	EncodeMisses int
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
@@ -202,13 +228,16 @@ func (s *Session) Invalidate(switches ...ObjectID) {
 }
 
 // Reset drops every piece of cached state — per-switch reports, the
-// controller-model cache, and the worker checkers — returning the session
-// to cold. Statistics are preserved.
+// controller-model cache, the shared encoding base, and the worker
+// checkers — returning the session to cold. Statistics are preserved.
 func (s *Session) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache = make(map[object.ID]*switchCheckState)
 	s.checkers = nil
+	s.base = nil
+	s.baseFP = 0
+	s.baseDeployment = nil
 	s.lastDeployment = nil
 	s.ctrlPristine = nil
 	s.lastEpoch = nil
@@ -236,6 +265,8 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 	switches := st.sortedSwitches()
 
 	ctrlModel := s.controllerModelLocked(st.Deployment)
+	depFPs := s.ensureBaseLocked(st.Deployment)
+	encBefore := s.encodeTotalsLocked()
 
 	// Partition the switches into replays and re-checks.
 	checkReps := make([]*equiv.Report, len(switches))
@@ -247,6 +278,8 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 		ent := s.cache[sw]
 		if ent != nil && ent.dep == st.Deployment {
 			logFPs[i] = ent.logicalFP
+		} else if fp, ok := depFPs[sw]; ok {
+			logFPs[i] = fp
 		} else {
 			logFPs[i] = equiv.Fingerprint(st.Deployment.RulesFor(sw))
 		}
@@ -296,7 +329,60 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 	s.stats.Runs++
 	s.stats.Checked += len(dirty)
 	s.stats.Replayed += len(switches) - len(dirty)
+	if !s.a.opts.UseNaiveChecker {
+		enc := equiv.AggregateEncodeStats(s.base, s.checkers)
+		rep.EncodeStats = enc
+		s.stats.BaseNodes = enc.BaseNodes
+		s.stats.DeltaNodes = enc.DeltaNodes
+		encAfter := encodeTotals{hits: enc.Hits(), misses: enc.Misses}
+		s.stats.EncodeHits += encAfter.hits - encBefore.hits
+		s.stats.EncodeMisses += encAfter.misses - encBefore.misses
+	}
 	return rep, nil
+}
+
+// encodeTotals is a point-in-time sum of the live checkers' cumulative
+// encoding counters, used to attribute per-run deltas to SessionStats
+// (the checkers themselves persist across runs, so their counters alone
+// cannot distinguish this run's work from history).
+type encodeTotals struct{ hits, misses int }
+
+func (s *Session) encodeTotalsLocked() encodeTotals {
+	var t encodeTotals
+	for _, c := range s.checkers {
+		cs := c.Stats()
+		t.hits += cs.BaseHits + cs.LocalHits
+		t.misses += cs.Misses
+	}
+	return t
+}
+
+// ensureBaseLocked keeps the shared encoding base in step with the
+// deployment: reused while the deployment fingerprint is unchanged
+// (pointer identity short-circuits the hashing), rebuilt — discarding
+// the now-stale checker forks — when it moves. Runs before any checker
+// provisioning so workers always fork the current base. When the
+// deployment had to be hashed, the per-switch fingerprints are returned
+// so the caller's replay/re-check partition reuses them instead of
+// hashing every rule list a second time (nil on the fast paths).
+func (s *Session) ensureBaseLocked(d *compile.Deployment) map[object.ID]uint64 {
+	if s.a.opts.UseNaiveChecker || s.a.opts.PrivateCheckers {
+		return nil
+	}
+	if s.base != nil && d == s.baseDeployment {
+		return nil
+	}
+	perSwitch, fp := equiv.DeploymentFingerprints(d.BySwitch)
+	if s.base != nil && fp == s.baseFP {
+		s.baseDeployment = d
+		return perSwitch
+	}
+	s.base = s.a.buildSharedBase(d)
+	s.baseFP = fp
+	s.baseDeployment = d
+	s.checkers = nil
+	s.stats.BaseRebuilds++
+	return perSwitch
 }
 
 // controllerModelLocked returns a fresh working controller view: a
@@ -329,17 +415,18 @@ func (s *Session) missingRuleCap() int {
 }
 
 // provisionCheckersLocked grows the persistent checker pool to n entries
-// and rebuilds any that exceeded the node budget, before the worker pool
-// starts (workers must never mutate the slice concurrently).
+// — forks of the shared base when one exists — and rebuilds any whose
+// private delta exceeded the node budget, before the worker pool starts
+// (workers must never mutate the slice concurrently).
 func (s *Session) provisionCheckersLocked(n int) {
 	if s.a.opts.UseNaiveChecker {
 		return
 	}
 	for len(s.checkers) < n {
-		s.checkers = append(s.checkers, equiv.NewChecker())
+		s.checkers = append(s.checkers, s.a.newWorkerCheckerFrom(s.base))
 	}
 	for _, c := range s.checkers[:n] {
-		if c.Size() > sessionCheckerNodeBudget {
+		if c.DeltaSize() > sessionCheckerNodeBudget {
 			c.Reset()
 			s.stats.CheckerResets++
 		}

@@ -309,6 +309,112 @@ func TestSessionMissingRuleCap(t *testing.T) {
 	}
 }
 
+// TestSessionSharedBasePersistence pins the base lifecycle: one build
+// serves every run of an unchanged deployment (TCAM drift included), a
+// recompiled deployment rebuilds it, and Reset drops it.
+func TestSessionSharedBasePersistence(t *testing.T) {
+	f := faultyFabric(t, 7)
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.BaseRebuilds != 1 {
+		t.Fatalf("cold run: BaseRebuilds = %d, want 1", st.BaseRebuilds)
+	}
+	if st.BaseNodes == 0 {
+		t.Error("cold run must report base nodes")
+	}
+	// Every deployment match resolves from the base; only the corrupted
+	// TCAM entries' novel matches are encoded from scratch.
+	if st.EncodeHits == 0 {
+		t.Errorf("cold run encode counters: hits=%d, want > 0", st.EncodeHits)
+	}
+
+	// TCAM drift dirties a switch but must not rebuild the base, and the
+	// re-check of warmed matches must be all hits.
+	removeOneRule(t, f, f.Topology().Switches()[0])
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sess.Stats()
+	if st2.BaseRebuilds != 1 {
+		t.Errorf("TCAM drift rebuilt the base: BaseRebuilds = %d", st2.BaseRebuilds)
+	}
+	if st2.EncodeHits <= st.EncodeHits {
+		t.Error("warm re-check must hit the persisted base")
+	}
+	if st2.EncodeMisses != st.EncodeMisses {
+		t.Errorf("warm re-check of warmed matches encoded from scratch: misses %d -> %d",
+			st.EncodeMisses, st2.EncodeMisses)
+	}
+
+	// A policy change recompiles the deployment: new fingerprint, one
+	// rebuild.
+	if err := f.AddFilter(scout.Filter{ID: 64200, Name: "rollout", Entries: []scout.FilterEntry{
+		scout.PortEntry(scout.ProtoTCP, 64200),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddFilterToContract(f.Policy().Bindings[0].Contract, 64200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Stats().BaseRebuilds; got != 2 {
+		t.Errorf("deployment change: BaseRebuilds = %d, want 2", got)
+	}
+
+	// Reset returns to cold: the next run rebuilds.
+	sess.Reset()
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Stats().BaseRebuilds; got != 3 {
+		t.Errorf("after Reset: BaseRebuilds = %d, want 3", got)
+	}
+}
+
+// TestSessionPrivateCheckers drives a session with the shared base
+// disabled: reports must stay byte-identical to the default mode, with
+// no base ever built.
+func TestSessionPrivateCheckers(t *testing.T) {
+	f := faultyFabric(t, 29)
+	private, err := scout.NewSession(f, scout.AnalyzerOptions{PrivateCheckers: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := scout.NewSession(f, scout.AnalyzerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := private.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := shared.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, p1), marshalReport(t, s1)) {
+		t.Error("private-checker session report differs from shared-base session")
+	}
+	pst := private.Stats()
+	if pst.BaseRebuilds != 0 || pst.BaseNodes != 0 {
+		t.Errorf("private-checker session built a base: %+v", pst)
+	}
+	if pst.DeltaNodes == 0 || pst.EncodeMisses == 0 {
+		t.Errorf("private-checker session must still count its own work: %+v", pst)
+	}
+	if sst := shared.Stats(); sst.BaseRebuilds != 1 || sst.BaseNodes == 0 {
+		t.Errorf("shared session base counters: %+v", sst)
+	}
+}
+
 // TestSessionRejectsProbes pins the mode restriction: probe observations
 // leave no rule state to fingerprint.
 func TestSessionRejectsProbes(t *testing.T) {
