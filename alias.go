@@ -98,8 +98,13 @@ type (
 	RuleMatch = rule.Match
 	// RuleAction is allow or deny.
 	RuleAction = rule.Action
+	// RuleKey is a rule's behavioural identity (match + action).
+	RuleKey = rule.Key
 	// Protocol is an IP protocol number.
 	Protocol = rule.Protocol
+	// SwitchPair identifies an EPG pair deployed on a specific switch —
+	// the per-switch key of a Deployment's PairRules index.
+	SwitchPair = compile.SwitchPair
 )
 
 // Rule actions and common protocols.

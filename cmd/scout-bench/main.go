@@ -9,6 +9,7 @@
 //	scout-bench -experiment scale -switches 10,50,100,200,500
 //	scout-bench -experiment parallel -scale 0.5 -workers 8
 //	scout-bench -experiment sharedbdd -scale 0.5
+//	scout-bench -experiment foldshare -scale 0.25
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"scout"
+	"scout/internal/equiv"
 	"scout/internal/eval"
 	"scout/internal/localize"
 	"scout/internal/risk"
@@ -47,7 +49,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -229,6 +231,146 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 	}
+
+	if want("foldshare") {
+		fmt.Fprintln(w, "== Fold sharing: frozen whole-switch semantics + check dedup ==")
+		if err := runFoldShare(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFoldShare measures the semantics-sharing layer on top of the shared
+// base: whole-switch semantics folds frozen once at warmup and resolved
+// by fingerprint, plus whole-switch check dedup across byte-equal
+// switches. The fabric state is extended with clone switches (byte-equal
+// logical and TCAM lists) so duplicated-fingerprint groups exist by
+// construction, then, asserting on node/check counters only (CI runners
+// may be single-core):
+//
+//   - shared-mode total node construction must be flat (±5%) from 1 to 4
+//     workers — with every logical list's fold frozen in the base, the
+//     per-fork deltas hold only drifted TCAM folds, which are built once
+//     no matter how the scheduler spreads switches;
+//   - each duplicated-fingerprint group must run exactly one semantics
+//     build per distinct rule list: fold misses across base and forks
+//     must equal the number of distinct unwarmed lists, and every clone
+//     must replay its group's verdict;
+//   - reports must stay byte-identical to the private (no base, no
+//     dedup) mode at every worker count.
+func runFoldShare(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	filters := make([]scout.ObjectID, 0, len(pol.Filters))
+	for id := range pol.Filters {
+		filters = append(filters, id)
+	}
+	sort.Slice(filters, func(i, j int) bool { return filters[i] < filters[j] })
+	for _, id := range filters[:minInt(3, len(filters))] {
+		if _, err := f.InjectObjectFault(scout.FilterRef(id), 1.0); err != nil {
+			return err
+		}
+	}
+
+	// Extend the state with clone switches (eval.DuplicateSwitches,
+	// shared with the dedup regression tests): every other switch gets a
+	// byte-equal twin (same logical rules, same TCAM snapshot), the
+	// duplicate groups the dedup collapses.
+	dup, dupTCAM, clones := eval.DuplicateSwitches(f.Deployment(), f.CollectAll())
+	st := scout.State{
+		Deployment: dup,
+		TCAM:       dupTCAM,
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        f.Now(),
+	}
+	fmt.Fprintf(w, "fabric: %d switches (+%d byte-equal clones), 3 filter faults injected\n\n",
+		topo.NumSwitches(), clones)
+
+	// Expected build counts, derived from the state itself: the base
+	// freezes one root per distinct logical semantics fingerprint, and
+	// the forks fold only group representatives' TCAM lists whose
+	// fingerprint no logical list warmed.
+	logicalSem := make(map[uint64]bool)
+	for _, rules := range dup.BySwitch {
+		logicalSem[equiv.SemanticsFingerprint(rules)] = true
+	}
+	groupTCAM := make(map[[2]uint64]uint64, len(dupTCAM))
+	for sw, rules := range dupTCAM {
+		key := [2]uint64{equiv.Fingerprint(dup.BySwitch[sw]), equiv.Fingerprint(rules)}
+		groupTCAM[key] = equiv.SemanticsFingerprint(rules)
+	}
+	unwarmed := make(map[uint64]bool)
+	for _, fp := range groupTCAM {
+		if !logicalSem[fp] {
+			unwarmed[fp] = true
+		}
+	}
+
+	measure := func(workers int, private bool) (*scout.Report, []byte, error) {
+		rep, err := scout.NewAnalyzer(scout.AnalyzerOptions{
+			Workers: workers, PrivateCheckers: private,
+		}).AnalyzeState(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Elapsed = 0
+		data, err := json.Marshal(rep)
+		return rep, data, err
+	}
+
+	fmt.Fprintf(w, "%-8s %13s %12s %12s %12s %12s\n",
+		"workers", "total nodes", "sem frozen", "fold hits", "fold misses", "dedup replay")
+	var shared1 int
+	for _, workers := range []int{1, 2, 4} {
+		shRep, shJSON, err := measure(workers, false)
+		if err != nil {
+			return err
+		}
+		_, privJSON, err := measure(workers, true)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(privJSON, shJSON) {
+			return fmt.Errorf("workers=%d: fold-share report differs from private (identity violation)", workers)
+		}
+		es := shRep.EncodeStats
+		fmt.Fprintf(w, "%-8d %13d %12d %12d %12d %12d\n",
+			workers, es.TotalNodes(), es.BaseSemantics, es.FoldHits(), es.FoldMisses, es.DedupReplays)
+
+		if es.BaseSemantics != len(logicalSem) {
+			return fmt.Errorf("workers=%d: base froze %d semantics roots, want %d (one per distinct logical list)",
+				workers, es.BaseSemantics, len(logicalSem))
+		}
+		if es.FoldMisses != len(unwarmed) {
+			return fmt.Errorf("workers=%d: %d private folds, want %d — one semantics build per distinct unwarmed list",
+				workers, es.FoldMisses, len(unwarmed))
+		}
+		if es.DedupReplays != clones {
+			return fmt.Errorf("workers=%d: %d dedup replays, want one per clone (%d)",
+				workers, es.DedupReplays, clones)
+		}
+		if workers == 1 {
+			shared1 = es.TotalNodes()
+		} else if tol := shared1 / 20; es.TotalNodes() > shared1+tol || es.TotalNodes() < shared1-tol {
+			return fmt.Errorf("workers=%d: total construction %d not flat vs 1-worker %d (±5%%)",
+				workers, es.TotalNodes(), shared1)
+		}
+	}
+	fmt.Fprintln(w, "\nreports byte-identical to private mode at every worker count: true")
+	fmt.Fprintf(w, "semantics builds: %d frozen at warmup + %d per-fork = one per distinct rule list\n",
+		len(logicalSem), len(unwarmed))
+	fmt.Fprintln(w, "shared-mode node construction flat from 1 to 4 workers (±5%): true")
 	return nil
 }
 

@@ -119,3 +119,25 @@ func TestRunSharedBDDSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFoldShareSmoke runs the fold-sharing experiment on a tiny
+// workload: flat shared-mode construction across worker counts, exactly
+// one semantics build per distinct rule list, one replay per clone
+// switch, and the report-identity contract against private mode.
+func TestRunFoldShareSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "foldshare", scale: 0.05, seed: 3}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"sem frozen", "dedup replay",
+		"reports byte-identical to private mode at every worker count: true",
+		"one per distinct rule list",
+		"shared-mode node construction flat from 1 to 4 workers (±5%): true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

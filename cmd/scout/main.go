@@ -179,8 +179,10 @@ func emitReport(report *scout.Report, jsonOut, verbose bool) error {
 			fmt.Printf("\ncontroller risk view: %s\n", report.ControllerView)
 		}
 		if es := report.EncodeStats; es != nil {
-			fmt.Printf("\nbdd encoding: base %d nodes (%d matches warmed), delta %d nodes across %d checkers, encode hits %d (%d from base) / misses %d\n",
-				es.BaseNodes, es.BaseMatches, es.DeltaNodes, es.Checkers, es.Hits(), es.BaseHits, es.Misses)
+			fmt.Printf("\nbdd encoding: base %d nodes (%d matches, %d semantics warmed), delta %d nodes across %d checkers, encode hits %d (%d from base) / misses %d\n",
+				es.BaseNodes, es.BaseMatches, es.BaseSemantics, es.DeltaNodes, es.Checkers, es.Hits(), es.BaseHits, es.Misses)
+			fmt.Printf("fold sharing: hits %d (%d from base) / misses %d, check dedup %d groups / %d replays\n",
+				es.FoldHits(), es.FoldBaseHits, es.FoldMisses, es.DedupGroups, es.DedupReplays)
 		}
 		fmt.Println("\nper-switch details:")
 		for _, sr := range report.Switches {
@@ -243,8 +245,10 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts scout.AnalyzerOptions,
 		}
 	}
 	st := sess.Stats()
-	fmt.Fprintf(w, "session encodings: base %d nodes (%d rebuilds), delta %d nodes, encode hits %d / misses %d\n",
-		st.BaseNodes, st.BaseRebuilds, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
+	fmt.Fprintf(w, "session encodings: base %d nodes (%d rebuilds, %d semantics), delta %d nodes, encode hits %d / misses %d\n",
+		st.BaseNodes, st.BaseRebuilds, st.BaseSemantics, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
+	fmt.Fprintf(w, "session fold sharing: hits %d / misses %d, check dedup %d groups / %d replays\n",
+		st.FoldHits, st.FoldMisses, st.DedupGroups, st.DedupReplays)
 	return report, nil
 }
 

@@ -128,7 +128,8 @@ func TestRunWatch(t *testing.T) {
 		"injected filter:",
 		fmt.Sprintf("epoch 2 (filter:%d): re-checked", filterID),
 		"session encodings: base ",
-		"(1 rebuilds)",
+		"(1 rebuilds, ",
+		"session fold sharing: hits ",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())

@@ -1,0 +1,115 @@
+package scout_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"scout"
+	"scout/internal/eval"
+)
+
+// dupState extends the fabric's collected state with byte-equal clone
+// switches (eval.DuplicateSwitches, shared with the foldshare
+// experiment) — the duplicate groups the whole-switch check dedup
+// collapses. The second return is the number of clones added.
+func dupState(t testing.TB, f *scout.Fabric) (scout.State, int) {
+	t.Helper()
+	dup, tcam, clones := eval.DuplicateSwitches(f.Deployment(), f.CollectAll())
+	if clones == 0 {
+		t.Fatal("fabric has no switches to clone")
+	}
+	return scout.State{
+		Deployment: dup,
+		TCAM:       tcam,
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        f.Now(),
+	}, clones
+}
+
+// TestDedupIdentityWithDuplicateSwitches is the whole-switch check-dedup
+// identity regression: on a state with byte-equal duplicate switches
+// (consistent and faulty groups alike), the dedup/shared-semantics mode
+// must report byte-identically to the private per-worker mode at every
+// worker count — dedup moves check work, never check results.
+func TestDedupIdentityWithDuplicateSwitches(t *testing.T) {
+	f := faultyFabric(t, 7)
+	st, clones := dupState(t, f)
+
+	analyze := func(opts scout.AnalyzerOptions) *scout.Report {
+		t.Helper()
+		rep, err := scout.NewAnalyzer(opts).AnalyzeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	baseline := marshalReport(t, analyze(scout.AnalyzerOptions{Workers: 1, PrivateCheckers: true}))
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		for _, private := range []bool{false, true} {
+			got := marshalReport(t, analyze(scout.AnalyzerOptions{Workers: workers, PrivateCheckers: private}))
+			if !bytes.Equal(baseline, got) {
+				t.Errorf("Workers=%d PrivateCheckers=%v report differs from serial private baseline",
+					workers, private)
+			}
+		}
+	}
+
+	// The plan's shape: every clone replays its original's verdict, and
+	// at least one group is multi-member.
+	shared := analyze(scout.AnalyzerOptions{Workers: 2}).EncodeStats
+	if shared.DedupReplays < clones {
+		t.Errorf("DedupReplays = %d, want at least the %d clones", shared.DedupReplays, clones)
+	}
+	if shared.DedupGroups == 0 {
+		t.Error("duplicate switches must form dedup groups")
+	}
+	// Semantics sharing: the duplicated lists' folds are frozen once in
+	// the base and resolved from it, never re-folded per fork.
+	if shared.BaseSemantics == 0 {
+		t.Errorf("base froze no semantics roots: %+v", shared)
+	}
+	if shared.FoldBaseHits == 0 {
+		t.Errorf("checks never hit a frozen semantics root: %+v", shared)
+	}
+
+	private := analyze(scout.AnalyzerOptions{Workers: 2, PrivateCheckers: true}).EncodeStats
+	if private.DedupGroups != 0 || private.DedupReplays != 0 {
+		t.Errorf("private mode must not dedup: %+v", private)
+	}
+	if private.FoldBaseHits != 0 || private.BaseSemantics != 0 {
+		t.Errorf("private mode must not touch frozen semantics: %+v", private)
+	}
+	if shared.FoldMisses >= private.FoldMisses {
+		t.Errorf("shared mode folded %d lists privately, private mode %d — semantics base not consulted",
+			shared.FoldMisses, private.FoldMisses)
+	}
+}
+
+// TestDedupErrorAttribution: when a dedup group's rule lists cannot be
+// encoded, the error still names a switch that genuinely owns the
+// offending rules (the group's representative).
+func TestDedupErrorAttribution(t *testing.T) {
+	badRule := scout.Rule{
+		Match:  scout.RuleMatch{VRF: 1 << 17, SrcEPG: 1, DstEPG: 2, PortLo: 80, PortHi: 80},
+		Action: scout.Allow,
+	}
+	bySwitch := make(map[scout.ObjectID][]scout.Rule)
+	tcamState := make(map[scout.ObjectID][]scout.Rule)
+	for sw := scout.ObjectID(1); sw <= 4; sw++ {
+		bySwitch[sw] = []scout.Rule{badRule} // all four form one dedup group
+		tcamState[sw] = nil
+	}
+	_, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: 2}).AnalyzeState(scout.State{
+		Deployment: &scout.Deployment{BySwitch: bySwitch},
+		TCAM:       tcamState,
+	})
+	if err == nil {
+		t.Fatal("expected encoding error")
+	}
+	// The group representative is the lowest member, switch 1.
+	if want := "equivalence check switch 1:"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("error %q should be attributed to the group representative (switch 1)", err)
+	}
+}

@@ -190,6 +190,14 @@ func (m *Manager) Size() int { return m.baseLen + len(m.nodes) }
 // is shared and immutable, only the delta is this manager's to shed.
 func (m *Manager) DeltaSize() int { return len(m.nodes) }
 
+// InBase reports whether n lives in the frozen prefix this manager forked
+// from (always false for standalone managers). It is the delta-accounting
+// probe the shared-semantics identity tests assert with: a function
+// resolved entirely from the base — a warmed match encoding or a frozen
+// whole-switch semantics root — is base-resident and costs the fork
+// nothing.
+func (m *Manager) InBase(n Node) bool { return int(n) < m.baseLen }
+
 // node resolves a node ID through the frozen base or the private delta.
 func (m *Manager) node(n Node) nodeData {
 	if int(n) < m.baseLen {
@@ -255,6 +263,23 @@ func (m *Manager) Not(a Node) Node { return m.apply(opXor, a, True) }
 // Diff returns a ∧ ¬b — the satisfying assignments of a not covered by b.
 // This is the "missing behaviour" operator of the equivalence checker.
 func (m *Manager) Diff(a, b Node) Node { return m.And(a, m.Not(b)) }
+
+// OrAll reduces nodes with a balanced binary OR tree. Compared to a left
+// fold, the balanced shape keeps intermediate BDDs small (O(N log N)
+// total apply work for the checker's same-action rule runs) and, more
+// importantly here, makes the reduction deterministic in the node IDs it
+// creates — the property the frozen-base warmup relies on to build
+// byte-reproducible snapshots.
+func (m *Manager) OrAll(nodes []Node) Node {
+	switch len(nodes) {
+	case 0:
+		return False
+	case 1:
+		return nodes[0]
+	}
+	mid := len(nodes) / 2
+	return m.Or(m.OrAll(nodes[:mid]), m.OrAll(nodes[mid:]))
+}
 
 // Implies reports whether a → b is a tautology (a's onset ⊆ b's onset).
 func (m *Manager) Implies(a, b Node) bool { return m.Diff(a, b) == False }

@@ -324,3 +324,60 @@ func TestSizeGrowsAndIsShared(t *testing.T) {
 		t.Error("equal functions must share structure without new nodes")
 	}
 }
+
+func TestOrAll(t *testing.T) {
+	m := NewManager(6)
+	if m.OrAll(nil) != False {
+		t.Error("OrAll(nil) must be False")
+	}
+	a := m.Var(0)
+	if m.OrAll([]Node{a}) != a {
+		t.Error("OrAll of one node must be that node")
+	}
+	nodes := []Node{m.Var(0), m.Var(1), m.Var(2), m.Var(3), m.Var(4)}
+	want := False
+	for _, n := range nodes {
+		want = m.Or(want, n)
+	}
+	if got := m.OrAll(nodes); got != want {
+		t.Errorf("OrAll = node %d, left fold = node %d (canonicity violated)", got, want)
+	}
+	// Balanced reduction of a disjoint cube family must still equal the
+	// left fold (canonical form is association-independent).
+	cubes := []Node{
+		m.Cube(map[int]bool{0: true, 1: false}),
+		m.Cube(map[int]bool{0: false, 2: true}),
+		m.Cube(map[int]bool{3: true, 4: true, 5: false}),
+	}
+	want = False
+	for _, n := range cubes {
+		want = m.Or(want, n)
+	}
+	if got := m.OrAll(cubes); got != want {
+		t.Error("OrAll over cubes differs from left fold")
+	}
+}
+
+func TestInBase(t *testing.T) {
+	m := NewManager(4)
+	frozen := m.And(m.Var(0), m.Var(1))
+	snap := m.Freeze()
+
+	fork := NewManagerFrom(snap)
+	if !fork.InBase(frozen) || !fork.InBase(True) || !fork.InBase(False) {
+		t.Error("frozen nodes and terminals must be InBase for a fork")
+	}
+	// A function expressible in the base resolves to its frozen ID.
+	if got := fork.And(fork.Var(0), fork.Var(1)); !fork.InBase(got) {
+		t.Errorf("base-expressible function landed in the delta (node %d)", got)
+	}
+	novel := fork.And(fork.Var(2), fork.Var(3))
+	if fork.InBase(novel) {
+		t.Error("novel function must live in the delta")
+	}
+
+	standalone := NewManager(4)
+	if standalone.InBase(standalone.Var(0)) || standalone.InBase(True) {
+		t.Error("standalone managers have no base")
+	}
+}

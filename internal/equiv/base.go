@@ -1,11 +1,14 @@
 // Shared encoding base for the check-stage fan-out: the distinct
 // rule.Matches of a deployment are encoded exactly once into one BDD
-// manager, which is then frozen into an immutable snapshot that every
-// worker's checker forks. Without it, each check-stage worker owns a
-// private manager and re-derives every match encoding shared across its
-// switches — duplicated node construction that grows with the worker
-// count and eats the parallel speedup (the ROADMAP measured ~2.5x
-// duplicated work at 4 workers on the production spec).
+// manager — followed by the whole-switch semantics folds of the most
+// duplicated rule-list fingerprints — which is then frozen into an
+// immutable snapshot that every worker's checker forks. Without it, each
+// check-stage worker owns a private manager and re-derives every match
+// encoding and every fold shared across its switches — duplicated node
+// construction that grows with the worker count and eats the parallel
+// speedup (the ROADMAP measured ~2.5x duplicated match work at 4 workers
+// on the production spec, and ~6%/worker-doubling residual fold growth
+// before semantics warming).
 
 package equiv
 
@@ -13,53 +16,84 @@ import (
 	"sort"
 
 	"scout/internal/bdd"
+	"scout/internal/object"
 	"scout/internal/rule"
 )
 
 // Base is a frozen, immutable encoding base: a BDD snapshot holding the
-// warmed match encodings plus the memo mapping each match to its frozen
-// node. A Base is safe for concurrent use by any number of checker forks
-// — nothing ever mutates it; build a new Base when the deployment's rule
-// matches change.
+// warmed match encodings and whole-switch semantics roots, plus the
+// memos mapping each match — and each canonical rule-list fingerprint —
+// to its frozen node. A Base is safe for concurrent use by any number of
+// checker forks — nothing ever mutates it; build a new Base when the
+// deployment's rules change.
 type Base struct {
 	snap     *bdd.Snapshot
 	matchMem map[rule.Match]bdd.Node
+	// semMem entries carry the canonical rule list alongside the frozen
+	// root (references to the caller's slices, not copies); checker hits
+	// verify against it so fingerprint collisions never alias roots.
+	semMem map[uint64]semRoot
 }
 
-// NewBase encodes each match once, in the given order, and freezes the
-// result. Matches that cannot be encoded (out-of-range IDs, inverted
+// NewBase encodes each match once, in the given order, then folds each
+// semantics rule list into its whole-list allowed-set BDD (keyed by
+// SemanticsFingerprint, duplicates collapsed), and freezes the result.
+// Matches or lists that cannot be encoded (out-of-range IDs, inverted
 // port ranges) are skipped rather than failing the build: the base is a
 // cache, and the per-switch check that owns the offending rule reports
 // the error with proper switch attribution.
 //
 // Callers wanting a deterministic base across processes should pass the
-// matches in a canonical order (SortMatches); within one process any
-// order yields an equivalent base.
-func NewBase(matches []rule.Match) *Base {
+// matches in a canonical order (SortMatches) and the semantics lists in
+// a canonical order too (the warmup ranks them by duplication count with
+// a fingerprint tiebreak); within one process any order yields an
+// equivalent base.
+func NewBase(matches []rule.Match, semantics ...[]rule.Rule) *Base {
 	m := bdd.NewManager(NumVars)
 	mem := make(map[rule.Match]bdd.Node, len(matches))
-	for _, match := range matches {
-		if _, ok := mem[match]; ok {
-			continue
+	encode := func(match rule.Match) (bdd.Node, error) {
+		if n, ok := mem[match]; ok {
+			return n, nil
 		}
 		n, err := buildMatchBDD(m, match)
 		if err != nil {
-			continue
+			return bdd.False, err
 		}
 		mem[match] = n
+		return n, nil
 	}
-	return &Base{snap: m.Freeze(), matchMem: mem}
+	for _, match := range matches {
+		// Unencodable matches are skipped: the base is a cache.
+		_, _ = encode(match)
+	}
+	semMem := make(map[uint64]semRoot, len(semantics))
+	for _, rules := range semantics {
+		fp := SemanticsFingerprint(rules)
+		if _, ok := semMem[fp]; ok {
+			// Duplicate list, or — vanishingly rarely — a colliding one;
+			// either way the first owner keeps the slot and a colliding
+			// list simply folds in the forks (hits verify the list).
+			continue
+		}
+		root, err := foldSemantics(m, encode, rules)
+		if err != nil {
+			continue
+		}
+		semMem[fp] = semRoot{rules: rules, node: root}
+	}
+	return &Base{snap: m.Freeze(), matchMem: mem, semMem: semMem}
 }
 
 // NewChecker forks the base: the returned checker resolves every warmed
-// match from the base's frozen memo and builds only novel encodings (and
-// per-check fold structure) in its private copy-on-write delta. Forking
-// is O(1); use one fork per worker goroutine.
+// match and whole-switch semantics root from the base's frozen memos and
+// builds only novel encodings and folds in its private copy-on-write
+// delta. Forking is O(1); use one fork per worker goroutine.
 func (b *Base) NewChecker() *Checker {
 	return &Checker{
 		m:        bdd.NewManagerFrom(b.snap),
 		base:     b,
 		matchMem: make(map[rule.Match]bdd.Node, 1024),
+		semMem:   make(map[uint64]semRoot, 64),
 	}
 }
 
@@ -68,6 +102,32 @@ func (b *Base) Size() int { return b.snap.Size() }
 
 // NumMatches returns the number of warmed match encodings.
 func (b *Base) NumMatches() int { return len(b.matchMem) }
+
+// NumSemantics returns the number of frozen whole-switch semantics roots.
+func (b *Base) NumSemantics() int { return len(b.semMem) }
+
+// RebindSemantics re-points the frozen semantics entries' canonical
+// rule-list references at the given deployment's slices, for a caller
+// that verified the deployment fingerprint-matches the one the base was
+// built from (a session keeping its base across a content-identical
+// recompile at a new address). The frozen BDD content is untouched —
+// only the collision-verification references move, releasing the
+// superseded deployment's rule slices instead of pinning them for the
+// base's lifetime (the same retention fix Prober.Rebind applies).
+//
+// This is the one exception to the base's nothing-ever-mutates-it rule:
+// the caller must hold off every checker fork while rebinding (the
+// session's run lock does), exactly as it must when replacing the base
+// outright.
+func (b *Base) RebindSemantics(bySwitch map[object.ID][]rule.Rule) {
+	for _, rules := range bySwitch {
+		fp := SemanticsFingerprint(rules)
+		if e, ok := b.semMem[fp]; ok && SemanticsEqual(e.rules, rules) {
+			e.rules = rules
+			b.semMem[fp] = e
+		}
+	}
+}
 
 // CollectMatches adds the distinct matches of rules into set — the
 // warmup pass's gather step, run per switch (concurrently over private
@@ -117,6 +177,13 @@ func matchLess(a, b rule.Match) bool {
 // match encodings were resolved from. It is the assertion surface for
 // the shared-base design — cross-worker duplicated node construction
 // shows up as DeltaNodes growth with the worker count.
+//
+// Units caveat for session-produced reports: a session's checkers
+// persist across runs, so the hit/miss counters aggregated from them
+// are cumulative over the session's lifetime, while DedupGroups and
+// DedupReplays describe only the producing run's check plan. Per-run
+// encode/fold attribution and cumulative dedup counters both live in
+// the session's SessionStats instead.
 type EncodeStats struct {
 	// Checkers is the number of checkers aggregated (the worker count).
 	Checkers int
@@ -125,6 +192,9 @@ type EncodeStats struct {
 	BaseNodes int
 	// BaseMatches is the number of match encodings warmed in the base.
 	BaseMatches int
+	// BaseSemantics is the number of whole-switch semantics roots frozen
+	// in the base (the top-K most duplicated rule-list fingerprints).
+	BaseSemantics int
 	// DeltaNodes sums every checker's private node count.
 	DeltaNodes int
 	// BaseHits, LocalHits, and Misses sum the checkers' cumulative
@@ -132,6 +202,19 @@ type EncodeStats struct {
 	BaseHits  int
 	LocalHits int
 	Misses    int
+	// FoldBaseHits, FoldLocalHits, and FoldMisses sum the checkers'
+	// whole-list semantics counters: folds resolved from the base's
+	// frozen roots, from a checker's own memo, or built from scratch.
+	FoldBaseHits  int
+	FoldLocalHits int
+	FoldMisses    int
+	// DedupGroups counts multi-switch check groups — switches sharing
+	// both logical- and TCAM-side fingerprints whose equivalence check
+	// ran once for the whole group. DedupReplays counts the switches
+	// whose verdict was replayed from their group's single check. Zero
+	// when the run's checker mode disables dedup (private, naive).
+	DedupGroups  int
+	DedupReplays int
 }
 
 // TotalNodes is the run's total BDD node construction: the shared base
@@ -141,14 +224,20 @@ func (s *EncodeStats) TotalNodes() int { return s.BaseNodes + s.DeltaNodes }
 // Hits is the total memo-resolved encodings (base + local).
 func (s *EncodeStats) Hits() int { return s.BaseHits + s.LocalHits }
 
+// FoldHits is the total memo-resolved whole-list folds (base + local).
+func (s *EncodeStats) FoldHits() int { return s.FoldBaseHits + s.FoldLocalHits }
+
 // AggregateEncodeStats sums the encoding counters of a run's checkers
 // over their shared base (nil for private-checker runs). Nil checker
-// slots (workers that never started) are skipped.
+// slots (workers that never started) are skipped. The dedup counters are
+// the fan-out's to fill in — they describe the check plan, not the
+// checkers.
 func AggregateEncodeStats(base *Base, checkers []*Checker) *EncodeStats {
 	st := &EncodeStats{}
 	if base != nil {
 		st.BaseNodes = base.Size()
 		st.BaseMatches = base.NumMatches()
+		st.BaseSemantics = base.NumSemantics()
 	}
 	for _, c := range checkers {
 		if c == nil {
@@ -160,6 +249,9 @@ func AggregateEncodeStats(base *Base, checkers []*Checker) *EncodeStats {
 		st.BaseHits += cs.BaseHits
 		st.LocalHits += cs.LocalHits
 		st.Misses += cs.Misses
+		st.FoldBaseHits += cs.FoldBaseHits
+		st.FoldLocalHits += cs.FoldLocalHits
+		st.FoldMisses += cs.FoldMisses
 	}
 	return st
 }

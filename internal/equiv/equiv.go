@@ -44,14 +44,22 @@ const maxID = 1<<vrfBits - 1
 //
 // A checker is either standalone (NewChecker: private manager, every
 // encoding built from scratch) or a fork of a shared Base
-// (Base.NewChecker): forks resolve match encodings through the base's
-// frozen memo first and build only what the base lacks in a private
-// copy-on-write delta, so any number of concurrent forks share one
-// node pool for the hot encodings.
+// (Base.NewChecker): forks resolve match encodings — and, by canonical
+// rule-list fingerprint, whole-switch semantics roots — through the
+// base's frozen memos first and build only what the base lacks in a
+// private copy-on-write delta, so any number of concurrent forks share
+// one node pool for the hot encodings and the hot folds.
 type Checker struct {
 	m        *bdd.Manager
 	base     *Base // nil for standalone checkers
 	matchMem map[rule.Match]bdd.Node
+	// semMem memoizes whole-list semantics roots by SemanticsFingerprint,
+	// so a checker re-handed an identical rule list (the same switch
+	// re-checked across session runs, or the L and T sides of a
+	// consistent switch) skips the entire priority fold. Every hit is
+	// verified against the entry's canonical list (SemanticsEqual), so a
+	// 64-bit collision costs a private fold, never a wrong root.
+	semMem map[uint64]semRoot
 
 	// Encoding counters, cumulative across checks and Resets: baseHits
 	// answered by the shared base's frozen memo, localHits by this
@@ -59,6 +67,19 @@ type Checker struct {
 	baseHits  int
 	localHits int
 	misses    int
+
+	// Fold counters, the same split for whole-list semantics roots.
+	foldBaseHits  int
+	foldLocalHits int
+	foldMisses    int
+}
+
+// semRoot is one memoized whole-list semantics fold: the frozen (or
+// delta) root plus a reference to the exact rule list it canonicalizes,
+// kept for collision verification on every fingerprint hit.
+type semRoot struct {
+	rules []rule.Rule
+	node  bdd.Node
 }
 
 // NewChecker creates a standalone checker with a fresh BDD manager.
@@ -66,6 +87,7 @@ func NewChecker() *Checker {
 	return &Checker{
 		m:        bdd.NewManager(NumVars),
 		matchMem: make(map[rule.Match]bdd.Node, 1024),
+		semMem:   make(map[uint64]semRoot, 64),
 	}
 }
 
@@ -84,10 +106,14 @@ func (c *Checker) DeltaSize() int { return c.m.DeltaSize() }
 
 // Stats returns the checker's cumulative encoding counters.
 func (c *Checker) Stats() CheckerStats {
-	return CheckerStats{BaseHits: c.baseHits, LocalHits: c.localHits, Misses: c.misses}
+	return CheckerStats{
+		BaseHits: c.baseHits, LocalHits: c.localHits, Misses: c.misses,
+		FoldBaseHits: c.foldBaseHits, FoldLocalHits: c.foldLocalHits, FoldMisses: c.foldMisses,
+	}
 }
 
-// CheckerStats counts where one checker's match encodings came from.
+// CheckerStats counts where one checker's match encodings and whole-list
+// semantics roots came from.
 type CheckerStats struct {
 	// BaseHits were answered by the shared base's frozen memo (always 0
 	// for standalone checkers).
@@ -96,6 +122,14 @@ type CheckerStats struct {
 	LocalHits int
 	// Misses were encoded from scratch into the checker's manager.
 	Misses int
+
+	// FoldBaseHits are whole-list semantics roots resolved from the
+	// shared base's frozen semantics memo (always 0 standalone).
+	FoldBaseHits int
+	// FoldLocalHits were answered by the checker's own semantics memo.
+	FoldLocalHits int
+	// FoldMisses are semantics folds built from scratch in this checker.
+	FoldMisses int
 }
 
 // Reset discards the checker's own BDD nodes and memoized match
@@ -110,6 +144,7 @@ func (c *Checker) Reset() {
 		c.m = bdd.NewManager(NumVars)
 	}
 	c.matchMem = make(map[rule.Match]bdd.Node, 1024)
+	c.semMem = make(map[uint64]semRoot, 64)
 }
 
 // Report is the outcome of one L-T equivalence check.
@@ -180,16 +215,50 @@ func (c *Checker) Check(logical, deployed []rule.Rule) (*Report, error) {
 	return rep, nil
 }
 
-// semantics folds a prioritized rule list into the BDD of packets the list
-// allows: the first matching rule decides, so each rule contributes only
-// the header space not covered by earlier rules.
+// semantics resolves (and memoizes) the whole-list allowed-set BDD of a
+// prioritized rule list, keyed by its canonical SemanticsFingerprint: the
+// shared base's frozen semantics memo first (whole-switch roots warmed at
+// base build time), then the checker's own memo, then a fresh fold into
+// the checker's manager. Every memo hit is verified against the entry's
+// canonical list, so a fingerprint collision falls through to a private
+// fold rather than reusing the wrong root. Resolving through the base is
+// what makes checking a switch whose rule list duplicates an
+// already-warmed one — or a consistent switch's TCAM side, which shares
+// its logical list's semantics key — O(list scan) instead of O(fold).
+func (c *Checker) semantics(rules []rule.Rule) (bdd.Node, error) {
+	fp := SemanticsFingerprint(rules)
+	if c.base != nil {
+		if e, ok := c.base.semMem[fp]; ok && SemanticsEqual(e.rules, rules) {
+			c.foldBaseHits++
+			return e.node, nil
+		}
+	}
+	if e, ok := c.semMem[fp]; ok && SemanticsEqual(e.rules, rules) {
+		c.foldLocalHits++
+		return e.node, nil
+	}
+	n, err := foldSemantics(c.m, c.encodeMatch, rules)
+	if err != nil {
+		return bdd.False, err
+	}
+	c.foldMisses++
+	if _, occupied := c.semMem[fp]; !occupied {
+		c.semMem[fp] = semRoot{rules: rules, node: n}
+	}
+	return n, nil
+}
+
+// foldSemantics folds a prioritized rule list into the BDD of packets the
+// list allows: the first matching rule decides, so each rule contributes
+// only the header space not covered by earlier rules. encode resolves one
+// match to its BDD in m (through whatever memo hierarchy the caller has).
 //
 // Consecutive rules with the same action cannot shadow each other into a
 // different outcome, so each maximal same-action run is collapsed with a
 // balanced OR reduction before the priority fold — turning the naive
 // O(N²) left fold into O(N log N) BDD work for the common all-allow +
 // default-deny rule lists.
-func (c *Checker) semantics(rules []rule.Rule) (bdd.Node, error) {
+func foldSemantics(m *bdd.Manager, encode func(rule.Match) (bdd.Node, error), rules []rule.Rule) (bdd.Node, error) {
 	allowed := bdd.False
 	covered := bdd.False
 	for start := 0; start < len(rules); {
@@ -200,32 +269,20 @@ func (c *Checker) semantics(rules []rule.Rule) (bdd.Node, error) {
 		}
 		run := make([]bdd.Node, 0, end-start)
 		for _, r := range rules[start:end] {
-			m, err := c.encodeMatch(r.Match)
+			enc, err := encode(r.Match)
 			if err != nil {
 				return bdd.False, err
 			}
-			run = append(run, m)
+			run = append(run, enc)
 		}
-		runUnion := c.orTree(run)
+		runUnion := m.OrAll(run)
 		if action == rule.Allow {
-			allowed = c.m.Or(allowed, c.m.Diff(runUnion, covered))
+			allowed = m.Or(allowed, m.Diff(runUnion, covered))
 		}
-		covered = c.m.Or(covered, runUnion)
+		covered = m.Or(covered, runUnion)
 		start = end
 	}
 	return allowed, nil
-}
-
-// orTree reduces nodes with a balanced binary OR.
-func (c *Checker) orTree(nodes []bdd.Node) bdd.Node {
-	switch len(nodes) {
-	case 0:
-		return bdd.False
-	case 1:
-		return nodes[0]
-	}
-	mid := len(nodes) / 2
-	return c.m.Or(c.orTree(nodes[:mid]), c.orTree(nodes[mid:]))
 }
 
 // encodeMatch resolves (and memoizes) the BDD of header tuples covered

@@ -178,3 +178,46 @@ func BenchmarkMissingSpace(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCheckSemanticsShared measures a check whose whole-list folds
+// resolve from frozen base roots (the warm continuous-verification
+// path): both sides hit the semantics memo, so per-check cost collapses
+// to two fingerprint hashes plus the root-equality test. Compare with
+// BenchmarkCheckSemanticsPrivate, the same check folding per fork.
+func BenchmarkCheckSemanticsShared(b *testing.B) {
+	rules := benchRules(1024)
+	base := NewBase(nil, rules)
+	c := base.NewChecker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := c.Check(rules, rules)
+		if err != nil || !rep.Equivalent {
+			b.Fatal("check failed")
+		}
+	}
+	b.ReportMetric(float64(c.DeltaSize())/float64(b.N), "delta-nodes/op")
+}
+
+// BenchmarkCheckSemanticsPrivate is the ablation twin: the base warms
+// only match encodings (pre-PR-5 state), so every iteration's fresh fork
+// rebuilds the whole fold structure in its delta.
+func BenchmarkCheckSemanticsPrivate(b *testing.B) {
+	rules := benchRules(1024)
+	matches := make([]rule.Match, 0, len(rules))
+	for _, r := range rules {
+		matches = append(matches, r.Match)
+	}
+	SortMatches(matches)
+	base := NewBase(matches)
+	b.ResetTimer()
+	deltas := 0
+	for i := 0; i < b.N; i++ {
+		c := base.NewChecker()
+		rep, err := c.Check(rules, rules)
+		if err != nil || !rep.Equivalent {
+			b.Fatal("check failed")
+		}
+		deltas += c.DeltaSize()
+	}
+	b.ReportMetric(float64(deltas)/float64(b.N), "delta-nodes/op")
+}

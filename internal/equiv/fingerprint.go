@@ -7,12 +7,53 @@ package equiv
 
 import (
 	"encoding/binary"
+	"hash"
 	"hash/fnv"
 	"sort"
 
 	"scout/internal/object"
 	"scout/internal/rule"
 )
+
+// hasher wraps an FNV-1a stream with the fixed-width writes the
+// fingerprints are built from. Match hashing lives here once so
+// Fingerprint and SemanticsFingerprint cannot drift apart when
+// rule.Match grows a field.
+type hasher struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: fnv.New64a()} }
+
+func (w *hasher) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.h.Write(w.buf[:4])
+}
+
+func (w *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.h.Write(w.buf[:8])
+}
+
+// match hashes every field of m.
+func (w *hasher) match(m rule.Match) {
+	w.u32(uint32(m.VRF))
+	w.u32(uint32(m.SrcEPG))
+	w.u32(uint32(m.DstEPG))
+	var flags uint32
+	if m.WildcardVRF {
+		flags |= 1
+	}
+	if m.WildcardSrc {
+		flags |= 2
+	}
+	if m.WildcardDst {
+		flags |= 4
+	}
+	w.u32(flags<<16 | uint32(m.Proto))
+	w.u32(uint32(m.PortLo)<<16 | uint32(m.PortHi))
+}
 
 // Fingerprint returns a 64-bit FNV-1a hash of a rule list. The hash is
 // order-sensitive and covers every field that can influence a check report
@@ -22,43 +63,61 @@ import (
 // become likely; callers that cannot tolerate that keep the rule lists and
 // compare with rule.SlicesEqual instead.
 func Fingerprint(rules []rule.Rule) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(buf[:4], v)
-		h.Write(buf[:4])
-	}
-	u64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:8], v)
-		h.Write(buf[:8])
-	}
-	u64(uint64(len(rules)))
+	w := newHasher()
+	w.u64(uint64(len(rules)))
 	for _, r := range rules {
-		m := r.Match
-		u32(uint32(m.VRF))
-		u32(uint32(m.SrcEPG))
-		u32(uint32(m.DstEPG))
-		var flags uint32
-		if m.WildcardVRF {
-			flags |= 1
-		}
-		if m.WildcardSrc {
-			flags |= 2
-		}
-		if m.WildcardDst {
-			flags |= 4
-		}
-		u32(flags<<16 | uint32(m.Proto))
-		u32(uint32(m.PortLo)<<16 | uint32(m.PortHi))
-		u32(uint32(r.Action))
-		u64(uint64(int64(r.Priority)))
-		u64(uint64(len(r.Provenance)))
+		w.match(r.Match)
+		w.u32(uint32(r.Action))
+		w.u64(uint64(int64(r.Priority)))
+		w.u64(uint64(len(r.Provenance)))
 		for _, ref := range r.Provenance {
-			u32(uint32(ref.Kind))
-			u32(uint32(ref.ID))
+			w.u32(uint32(ref.Kind))
+			w.u32(uint32(ref.ID))
 		}
 	}
-	return h.Sum64()
+	return w.h.Sum64()
+}
+
+// SemanticsFingerprint canonicalizes an ordered rule list into its
+// semantics key: a 64-bit FNV-1a hash of exactly the fields the
+// priority-fold consumes — each rule's match and action, in list order.
+// Priority and provenance are deliberately excluded: the fold interprets
+// the list positionally, so they cannot influence the allowed-set BDD,
+// and excluding them lets a logical rule list and its (provenance-free)
+// TCAM collection share one semantics key whenever the deployed behaviour
+// is intact. Two lists with equal semantics fingerprints fold to the same
+// BDD, which is what lets the frozen base share whole-switch semantics
+// roots across switches and across the L/T sides of a consistent switch.
+// The keyspace is domain-separated from Fingerprint by a leading tag, so
+// the two hashes never alias each other's inputs. The same 64-bit
+// collision caveat as Fingerprint applies.
+func SemanticsFingerprint(rules []rule.Rule) uint64 {
+	w := newHasher()
+	w.h.Write([]byte{'s', 'e', 'm'})
+	w.u64(uint64(len(rules)))
+	for _, r := range rules {
+		w.match(r.Match)
+		w.u32(uint32(r.Action))
+	}
+	return w.h.Sum64()
+}
+
+// SemanticsEqual reports whether two rule lists are equal under the
+// canonical form SemanticsFingerprint hashes: same length, and each
+// position's match and action agree (priority and provenance free, like
+// the fingerprint). It is the verification the semantics memos run on
+// every fingerprint hit, so a 64-bit collision degrades to a private
+// fold, never a wrong root.
+func SemanticsEqual(a, b []rule.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Match != b[i].Match || a[i].Action != b[i].Action {
+			return false
+		}
+	}
+	return true
 }
 
 // DeploymentFingerprint hashes a whole deployment's per-switch rule

@@ -1,0 +1,73 @@
+// Duplicate-switch state construction, shared by the fold-share
+// experiment and the check-dedup regression tests: generated workloads
+// produce all-distinct per-switch rule lists, so states with
+// duplicated-fingerprint switches — the input whole-switch check dedup
+// collapses — are built by cloning.
+
+package eval
+
+import (
+	"sort"
+
+	"scout/internal/compile"
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// CloneOffset is the switch-ID offset DuplicateSwitches gives clone
+// switches, far above generated topology IDs.
+const CloneOffset = 100000
+
+// DuplicateSwitches returns copies of the deployment and TCAM state
+// extended with byte-equal clone switches: every other switch (even
+// ranks in ascending ID order) gets a twin at ID+CloneOffset sharing
+// its logical rule list, its TCAM snapshot, and its pair-rule index
+// entries — so each twin fingerprint-matches its original on both the
+// logical and TCAM side. The inputs are not mutated; the returned
+// deployment and TCAM own fresh maps (sharing the underlying rule
+// slices). The third result is the number of clones added.
+func DuplicateSwitches(d *compile.Deployment, tcam map[object.ID][]rule.Rule) (*compile.Deployment, map[object.ID][]rule.Rule, int) {
+	switches := make([]object.ID, 0, len(tcam))
+	for sw := range tcam {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+
+	dup := &compile.Deployment{
+		BySwitch:   make(map[object.ID][]rule.Rule, 2*len(d.BySwitch)),
+		Provenance: d.Provenance,
+		PairRules:  make(map[compile.SwitchPair][]rule.Key, 2*len(d.PairRules)),
+	}
+	for sw, rules := range d.BySwitch {
+		dup.BySwitch[sw] = rules
+	}
+	for sp, keys := range d.PairRules {
+		dup.PairRules[sp] = keys
+	}
+	dupTCAM := make(map[object.ID][]rule.Rule, 2*len(tcam))
+	for sw, rules := range tcam {
+		dupTCAM[sw] = rules
+	}
+
+	// Group the pair-rule index by switch once, so cloning is linear in
+	// |PairRules| instead of one full map scan per clone.
+	pairsOf := make(map[object.ID][]compile.SwitchPair, len(d.BySwitch))
+	for sp := range d.PairRules {
+		pairsOf[sp.Switch] = append(pairsOf[sp.Switch], sp)
+	}
+
+	clones := 0
+	for i, sw := range switches {
+		if i%2 != 0 {
+			continue
+		}
+		clone := sw + CloneOffset
+		dup.BySwitch[clone] = d.BySwitch[sw]
+		dupTCAM[clone] = tcam[sw]
+		for _, sp := range pairsOf[sw] {
+			dup.PairRules[compile.SwitchPair{Switch: clone, Pair: sp.Pair}] = d.PairRules[sp]
+		}
+		clones++
+	}
+	return dup, dupTCAM, clones
+}

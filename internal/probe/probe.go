@@ -74,11 +74,16 @@ var _ Classifier = (*tcam.TCAM)(nil)
 // Prober synthesizes and evaluates probes for a compiled deployment.
 // Probe packets are memoized per rule key — i.e. per (VRF, EPG pair,
 // filter entry) — so switches sharing EPG pairs reuse each other's
-// packets within one analysis run instead of re-synthesizing them. The
-// memo is guarded, so one Prober may serve concurrent ProbeSwitch calls
-// from the analyzer's worker pool.
+// packets instead of re-synthesizing them; a long-lived Prober (the
+// analyzer keeps one per deployment fingerprint) amortizes the memo
+// across analysis runs, not just within one. The memo is guarded, so one
+// Prober may serve concurrent ProbeSwitch calls from the analyzer's
+// worker pool.
 type Prober struct {
-	d *compile.Deployment
+	// d is atomic so Rebind can swap deployments without racing probe
+	// calls in flight (callers only rebind to fingerprint-equal
+	// deployments, so either pointer yields the same rules).
+	d atomic.Pointer[compile.Deployment]
 
 	mu      sync.RWMutex
 	packets map[rule.Key]Packet
@@ -90,8 +95,17 @@ type Prober struct {
 
 // New creates a prober over the deployment.
 func New(d *compile.Deployment) *Prober {
-	return &Prober{d: d, packets: make(map[rule.Key]Packet)}
+	p := &Prober{packets: make(map[rule.Key]Packet)}
+	p.d.Store(d)
+	return p
 }
+
+// Rebind points the prober at d, keeping the packet memo. For callers
+// that verified d fingerprint-matches the prober's current deployment
+// (the analyzer's per-deployment cache): packets are pure functions of
+// rule keys, so the memo stays valid, and rebinding releases the
+// superseded deployment instead of pinning it for the prober's life.
+func (p *Prober) Rebind(d *compile.Deployment) { p.d.Store(d) }
 
 // packetFor returns the memoized probe packet for an eligible rule,
 // synthesizing and caching it on first sight of the rule's key.
@@ -128,33 +142,47 @@ func (p *Prober) MemoStats() (hits, misses int) {
 	return int(p.hits.Load()), int(p.misses.Load())
 }
 
+// probeEligible reports whether r contributes a probe: concrete EPG
+// pairs only, allow rules only (the paper's "allowed to communicate but
+// fail to do so" observation).
+func probeEligible(r rule.Rule) bool {
+	return r.Action == rule.Allow && !r.Match.WildcardSrc && !r.Match.WildcardDst
+}
+
+// evalProbe classifies one probe packet against a switch's dataplane and
+// reports whether the outcome contradicts the rule it was derived from
+// (ok=true). An unmatched probe reports Got == 0.
+func evalProbe(sw object.ID, r rule.Rule, pkt Packet, dataplane Classifier) (Violation, bool) {
+	got, matched := dataplane.Classify(pkt.VRF, pkt.SrcEPG, pkt.DstEPG, pkt.Proto, pkt.Port)
+	if matched && got == r.Action {
+		return Violation{}, false
+	}
+	if !matched {
+		got = 0
+	}
+	return Violation{
+		Switch:   sw,
+		Pair:     policy.MakeEPGPair(pkt.SrcEPG, pkt.DstEPG),
+		Packet:   pkt,
+		Expected: r.Action,
+		Got:      got,
+		Rule:     r.Clone(),
+	}, true
+}
+
 // ProbeSwitch probes every (pair, rule) deployed on switch sw against
 // the given classifier and returns the violations in deterministic
 // order. Each allow rule contributes one probe at its low port (the
 // paper's per-rule missing/present granularity).
 func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
 	var out []Violation
-	rules := p.d.RulesFor(sw)
-	for _, r := range rules {
-		if r.Action != rule.Allow || r.Match.WildcardSrc || r.Match.WildcardDst {
+	for _, r := range p.d.Load().RulesFor(sw) {
+		if !probeEligible(r) {
 			continue
 		}
-		pkt := p.packetFor(r)
-		got, matched := dataplane.Classify(pkt.VRF, pkt.SrcEPG, pkt.DstEPG, pkt.Proto, pkt.Port)
-		if matched && got == r.Action {
-			continue
+		if v, ok := evalProbe(sw, r, p.packetFor(r), dataplane); ok {
+			out = append(out, v)
 		}
-		if !matched {
-			got = 0
-		}
-		out = append(out, Violation{
-			Switch:   sw,
-			Pair:     policy.MakeEPGPair(pkt.SrcEPG, pkt.DstEPG),
-			Packet:   pkt,
-			Expected: r.Action,
-			Got:      got,
-			Rule:     r.Clone(),
-		})
 	}
 	sort.Slice(out, func(i, j int) bool { return violationLess(out[i], out[j]) })
 	return out
@@ -163,23 +191,75 @@ func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
 // ProbeAll probes every switch in the deployment. dataplanes maps switch
 // IDs to their classification surface (e.g. collected from
 // fabric.Fabric via Switch(sw).TCAM()).
+//
+// The iteration is packet-outer, switch-inner: each distinct probe
+// packet is synthesized once and then classified against every dataplane
+// deploying a rule with its key in one batched pass, instead of looping
+// switches and re-resolving the shared packets per switch. The violation
+// order is identical to the per-switch form — violationLess leads with
+// the switch ID, so one global sort reproduces the concatenation of
+// per-switch sorted outputs.
+//
+// ProbeAll is the serial batch entry point (library users probing
+// collected dataplanes in one call); the analyzer's probe pipeline
+// instead fans ProbeSwitch out per switch over its worker pool, trading
+// the batched pass for parallelism while sharing the same packet memo.
 func (p *Prober) ProbeAll(dataplanes map[object.ID]Classifier) []Violation {
+	d := p.d.Load()
 	var switches []object.ID
-	for sw := range p.d.BySwitch {
+	for sw := range d.BySwitch {
 		switches = append(switches, sw)
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
-	var out []Violation
+
+	// Gather the probe sites per rule key, keeping first-seen key order
+	// (deterministic: switches ascending, rules in list order).
+	type site struct {
+		sw object.ID
+		r  rule.Rule
+	}
+	var order []rule.Key
+	sites := make(map[rule.Key][]site)
 	for _, sw := range switches {
-		dp, ok := dataplanes[sw]
-		if !ok {
+		if _, ok := dataplanes[sw]; !ok {
 			continue
 		}
-		out = append(out, p.ProbeSwitch(sw, dp)...)
+		for _, r := range d.RulesFor(sw) {
+			if !probeEligible(r) {
+				continue
+			}
+			k := r.Key()
+			if _, seen := sites[k]; !seen {
+				order = append(order, k)
+			}
+			sites[k] = append(sites[k], site{sw: sw, r: r})
+		}
 	}
+
+	var out []Violation
+	for _, k := range order {
+		ss := sites[k]
+		pkt := p.packetFor(ss[0].r)
+		// The remaining sites reuse the packet without re-consulting the
+		// memo; account them as hits so MemoStats keeps measuring
+		// cross-switch synthesis sharing.
+		p.hits.Add(int64(len(ss) - 1))
+		for _, s := range ss {
+			if v, ok := evalProbe(s.sw, s.r, pkt, dataplanes[s.sw]); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return violationLess(out[i], out[j]) })
 	return out
 }
 
+// violationLess orders violations by switch, then pair, then the source
+// rule under rule.Less. The rule comparison makes the order total for
+// any deduped rule list (the packet is a pure function of the rule), so
+// the batched ProbeAll and the per-switch ProbeSwitch forms sort tied
+// probes — same pair, proto, and port but e.g. opposite direction or
+// different port ranges — identically regardless of insertion order.
 func violationLess(a, b Violation) bool {
 	if a.Switch != b.Switch {
 		return a.Switch < b.Switch
@@ -187,10 +267,7 @@ func violationLess(a, b Violation) bool {
 	if a.Pair != b.Pair {
 		return a.Pair.Less(b.Pair)
 	}
-	if a.Packet.Proto != b.Packet.Proto {
-		return a.Packet.Proto < b.Packet.Proto
-	}
-	return a.Packet.Port < b.Packet.Port
+	return rule.Less(a.Rule, b.Rule)
 }
 
 // MissingRules converts violations into the missing-rule form the risk

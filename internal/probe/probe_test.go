@@ -287,3 +287,81 @@ func TestProberPacketMemo(t *testing.T) {
 		}
 	}
 }
+
+// TestProbeAllMatchesPerSwitch pins the packet-outer batched ProbeAll
+// against the per-switch form it replaced: on a faulty generated fabric,
+// the batched pass must report exactly the concatenation of every
+// switch's sorted ProbeSwitch output, while synthesizing each distinct
+// packet once.
+func TestProbeAllMatchesPerSwitch(t *testing.T) {
+	pol, tp, err := workload.Generate(workload.TestbedSpec(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fabric.New(pol, tp, fabric.Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	// Knock out rules on two switches so violations span switches.
+	for _, sw := range tp.Switches()[:2] {
+		s, err := f.Switch(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules := s.TCAM().Rules()
+		for _, r := range rules {
+			if r.Action == rule.Allow {
+				s.TCAM().Remove(r.Key())
+				break
+			}
+		}
+	}
+	dps := dataplanes(t, f)
+
+	var want []Violation
+	ref := New(f.Deployment())
+	for _, sw := range f.Topology().Switches() {
+		want = append(want, ref.ProbeSwitch(sw, dps[sw])...)
+	}
+
+	batched := New(f.Deployment())
+	got := batched.ProbeAll(dps)
+	if len(got) == 0 {
+		t.Fatal("fault injection produced no violations; test is vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ProbeAll returned %d violations, per-switch form %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() || !got[i].Rule.Equal(want[i].Rule) {
+			t.Errorf("violation %d differs:\nbatched:    %s\nper-switch: %s", i, got[i], want[i])
+		}
+	}
+
+	// Batched synthesis: one miss per distinct packet, the rest hits.
+	hits, misses := batched.MemoStats()
+	refHits, refMisses := ref.MemoStats()
+	if misses != refMisses {
+		t.Errorf("batched pass synthesized %d packets, per-switch %d", misses, refMisses)
+	}
+	if hits != refHits {
+		t.Errorf("batched pass recorded %d memo hits, per-switch %d", hits, refHits)
+	}
+}
+
+// TestProbeAllSkipsMissingDataplanes: switches without a classification
+// surface contribute no probes (matching the per-switch form, which was
+// never invoked for them).
+func TestProbeAllSkipsMissingDataplanes(t *testing.T) {
+	f := threeTierFabric(t)
+	dps := dataplanes(t, f)
+	delete(dps, f.Topology().Switches()[0])
+	for _, v := range New(f.Deployment()).ProbeAll(dps) {
+		if _, ok := dps[v.Switch]; !ok {
+			t.Errorf("violation reported for a switch without a dataplane: %s", v)
+		}
+	}
+}

@@ -238,10 +238,16 @@ func (r Rule) IsDefaultDeny() bool {
 // Sort orders rules deterministically: descending priority first (match
 // order), then by match fields. It sorts in place.
 func Sort(rules []Rule) {
-	sort.Slice(rules, func(i, j int) bool { return less(rules[i], rules[j]) })
+	sort.Slice(rules, func(i, j int) bool { return Less(rules[i], rules[j]) })
 }
 
-func less(a, b Rule) bool {
+// Less is a deterministic ordering on rules: descending priority, then
+// every match field (including the wildcard flags), then action. It is
+// total up to Key equality — two rules it cannot separate share a Key,
+// which Dedupe collapses — so ties cannot occur within one switch's
+// deduped rule list; callers needing a tiebreak for sorted outputs
+// derived from such lists (e.g. probe violations) can rely on that.
+func Less(a, b Rule) bool {
 	if a.Priority != b.Priority {
 		return a.Priority > b.Priority
 	}
@@ -263,6 +269,15 @@ func less(a, b Rule) bool {
 	}
 	if am.PortHi != bm.PortHi {
 		return am.PortHi < bm.PortHi
+	}
+	if am.WildcardVRF != bm.WildcardVRF {
+		return bm.WildcardVRF
+	}
+	if am.WildcardSrc != bm.WildcardSrc {
+		return bm.WildcardSrc
+	}
+	if am.WildcardDst != bm.WildcardDst {
+		return bm.WildcardDst
 	}
 	return a.Action < b.Action
 }

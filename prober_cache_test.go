@@ -1,0 +1,83 @@
+package scout
+
+import (
+	"testing"
+
+	"scout/internal/fabric"
+	"scout/internal/object"
+	"scout/internal/rule"
+	"scout/internal/workload"
+)
+
+// TestProberCachedPerDeployment pins the probe-stage cross-run reuse: an
+// analyzer hands out one prober per deployment fingerprint — pointer
+// identity short-circuits, an equal-content deployment at a different
+// address reuses the same prober, and a recompile (changed rules)
+// rebuilds it.
+func TestProberCachedPerDeployment(t *testing.T) {
+	pol, tp, err := workload.Generate(workload.TestbedSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fabric.New(pol, tp, fabric.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	d := f.Deployment()
+
+	a := NewAnalyzer(AnalyzerOptions{UseProbes: true})
+	p1 := a.proberFor(d)
+	if p1 == nil {
+		t.Fatal("nil prober")
+	}
+	if a.proberFor(d) != p1 {
+		t.Error("same deployment pointer must reuse the prober")
+	}
+
+	// Same content at a different address: the fingerprint path keeps
+	// the prober (and its packet memo) alive.
+	copied := *d
+	if a.proberFor(&copied) != p1 {
+		t.Error("equal-content deployment must reuse the prober")
+	}
+	// ...and re-arms the pointer fast path for the new address.
+	if a.proberFor(&copied) != p1 {
+		t.Error("pointer fast path must track the latest deployment")
+	}
+
+	// A recompile-shaped change (one switch's rules differ) must rebuild.
+	changed := *d
+	changed.BySwitch = make(map[object.ID][]rule.Rule, len(d.BySwitch))
+	for sw, rules := range d.BySwitch {
+		changed.BySwitch[sw] = rules
+	}
+	for sw, rules := range changed.BySwitch {
+		if len(rules) > 0 {
+			changed.BySwitch[sw] = rules[1:]
+			break
+		}
+	}
+	if a.proberFor(&changed) == p1 {
+		t.Error("changed deployment must rebuild the prober")
+	}
+
+	// End to end: repeated probe analyses share the memo, so the second
+	// run synthesizes nothing new.
+	if _, err := a.Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := a.prober.MemoStats()
+	if _, err := a.Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := a.prober.MemoStats()
+	if misses != missesAfterFirst {
+		t.Errorf("second probe run synthesized %d new packets, want 0", misses-missesAfterFirst)
+	}
+	if hits == 0 {
+		t.Error("second probe run must hit the shared packet memo")
+	}
+}

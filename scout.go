@@ -105,6 +105,18 @@ type AnalyzerOptions struct {
 type Analyzer struct {
 	opts   AnalyzerOptions
 	engine *correlate.Engine
+
+	// The cached prober gives probe-mode analyses one probe.Prober per
+	// deployment fingerprint instead of one per run, so the packet memo
+	// amortizes across repeated analyses of the same deployment (watch
+	// loops re-probing a live fabric), not just across switches within
+	// one run. A recompile invalidates it — the prober reads rule lists
+	// through its deployment, which must stay current. Guarded because
+	// one Analyzer may serve concurrent Analyze calls.
+	proberMu  sync.Mutex
+	prober    *probe.Prober
+	proberDep *Deployment
+	proberFP  uint64
 }
 
 // NewAnalyzer creates an analyzer. The zero AnalyzerOptions give the
@@ -206,13 +218,14 @@ func (a *Analyzer) Analyze(f *fabric.Fabric) (*Report, error) {
 
 // analyzeWithProbes runs the probe-based observation source, which needs
 // live dataplane access rather than TCAM dumps. One prober is shared
-// across the whole fan-out so probe-packet synthesis memoizes per rule
-// key: switches sharing EPG pairs reuse each other's packets instead of
+// across the whole fan-out — and, via the analyzer's deployment-keyed
+// cache, across runs — so probe-packet synthesis memoizes per rule key:
+// switches sharing EPG pairs reuse each other's packets instead of
 // regenerating them (the Prober's memo is safe for concurrent readers).
 func (a *Analyzer) analyzeWithProbes(f *fabric.Fabric) (*Report, error) {
 	start := time.Now()
 	d := f.Deployment()
-	prober := probe.New(d)
+	prober := a.proberFor(d)
 	switches := sortSwitches(f.Topology().Switches())
 	reports, err := a.checkAll(switches, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 		return a.checkSwitch(f, d, c, prober, sw)
@@ -235,16 +248,50 @@ func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
 	st = st.withDefaultLogs()
 	switches := st.sortedSwitches()
 	pool := a.newCheckerPool(a.buildSharedBase(st.Deployment), a.workers(len(switches)))
-	reports, err := a.checkAllWith(switches, pool.checker, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+	check := func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 		return a.checkState(st, c, sw)
-	})
+	}
+	var (
+		reports []*equiv.Report
+		plan    *dedupPlan
+		err     error
+	)
+	if a.dedupEnabled() {
+		logFPs, tcamFPs := a.stateFingerprints(st, switches)
+		reports, plan, err = a.checkDeduped(st, switches, logFPs, tcamFPs, pool.checker, check)
+	} else {
+		reports, err = a.checkAllWith(switches, pool.checker, check)
+	}
 	if err != nil {
 		return nil, err
 	}
 	rep := a.assemble(a.controllerModel(st.Deployment), st.Deployment, st.Changes, st.Faults, st.Now, switches, reports)
 	rep.EncodeStats = pool.stats()
+	plan.record(rep.EncodeStats)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// proberFor returns the cached prober for the deployment, rebuilding it
+// when the deployment changed (pointer identity short-circuits the
+// hashing, like the session's base key).
+func (a *Analyzer) proberFor(d *Deployment) *probe.Prober {
+	a.proberMu.Lock()
+	defer a.proberMu.Unlock()
+	if a.prober != nil && d == a.proberDep {
+		return a.prober
+	}
+	fp := equiv.DeploymentFingerprint(d.BySwitch)
+	if a.prober == nil || fp != a.proberFP {
+		a.prober = probe.New(d)
+		a.proberFP = fp
+	} else {
+		// Equal content at a new address: keep the memo, release the
+		// superseded deployment instead of pinning it via the prober.
+		a.prober.Rebind(d)
+	}
+	a.proberDep = d
+	return a.prober
 }
 
 // withDefaultLogs returns a copy of the state with nil logs replaced by
@@ -309,18 +356,39 @@ func (a *Analyzer) newWorkerCheckerFrom(base *equiv.Base) *equiv.Checker {
 	return equiv.NewChecker()
 }
 
+// baseSemanticsTopK bounds how many whole-switch semantics folds the
+// warmup freezes into the shared base. Lists are ranked most-duplicated
+// first, so the cap sheds only the rarest fingerprints on fabrics with
+// more distinct rule lists than this; their folds land in worker deltas
+// exactly as before the semantics cache existed.
+const baseSemanticsTopK = 1024
+
 // buildSharedBase is the check stage's warmup pass: it gathers the
 // distinct rule matches across the deployment — fanned out per switch
-// over the worker pool — encodes each exactly once, and freezes the
-// result into an immutable base every worker's checker forks. Nil when
-// the options call for private checkers or no BDD checkers at all.
+// over the worker pool — encodes each exactly once, then folds the
+// top-K most duplicated whole-switch rule lists (ranked by canonical
+// semantics fingerprint, most shared first) into frozen semantics roots,
+// and freezes the result into an immutable base every worker's checker
+// forks. Nil when the options call for private checkers or no BDD
+// checkers at all.
 //
-// The base covers logical matches only: deployed TCAM rules are the
+// The base covers logical rule lists only: deployed TCAM rules are the
 // deployment's rules minus faults, so in the common near-consistent case
-// virtually every deployed match is warm too, while corrupted entries'
-// novel matches land in the owning worker's copy-on-write delta. Keying
-// the base off the deployment alone is what lets a Session reuse it
-// across runs whose TCAM state drifts.
+// virtually every deployed match is warm too — and a consistent switch's
+// TCAM side shares its logical list's semantics fingerprint, so even its
+// whole-list fold resolves from the base. Corrupted entries' novel
+// matches and drifted switches' folds land in the owning worker's
+// copy-on-write delta. Keying the base off the deployment alone is what
+// lets a Session reuse it across runs whose TCAM state drifts.
+//
+// The semantics folds build serially inside NewBase (one manager, not
+// shareable mid-build), where the pre-warming design folded each list
+// inside the parallel per-switch checks — a deliberate trade: the
+// one-time serial warmup buys every consistent switch's check down to
+// two hashes, and sessions amortize it across all runs of a deployment.
+// A cold one-shot analysis on a many-core box pays a slice of its fold
+// work serially; the foldshare experiment pins the payoff on node
+// counters, which is what survives any core count.
 func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
 	if a.opts.UseNaiveChecker || a.opts.UseProbes || a.opts.PrivateCheckers {
 		return nil
@@ -331,11 +399,13 @@ func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
 	sets := make([]map[rule.Match]struct{}, len(switches))
+	semFPs := make([]uint64, len(switches))
 	a.forEach(len(switches), func(i int) {
 		rules := d.BySwitch[switches[i]]
 		set := make(map[rule.Match]struct{}, len(rules))
 		equiv.CollectMatches(set, rules)
 		sets[i] = set
+		semFPs[i] = equiv.SemanticsFingerprint(rules)
 	})
 	merged := make(map[rule.Match]struct{})
 	for _, set := range sets {
@@ -348,7 +418,149 @@ func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
 		matches = append(matches, m)
 	}
 	equiv.SortMatches(matches)
-	return equiv.NewBase(matches)
+
+	// Rank the distinct rule lists most-duplicated first (fingerprint
+	// tiebreak, representative = lowest switch ID), so the build order —
+	// and with it every frozen node ID — is deterministic for a given
+	// deployment.
+	type semGroup struct {
+		fp    uint64
+		count int
+		rep   int
+	}
+	byFP := make(map[uint64]int, len(switches))
+	groups := make([]semGroup, 0, len(switches))
+	for i, fp := range semFPs {
+		if g, ok := byFP[fp]; ok {
+			groups[g].count++
+			continue
+		}
+		byFP[fp] = len(groups)
+		groups = append(groups, semGroup{fp: fp, count: 1, rep: i})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].count != groups[j].count {
+			return groups[i].count > groups[j].count
+		}
+		return groups[i].fp < groups[j].fp
+	})
+	if len(groups) > baseSemanticsTopK {
+		groups = groups[:baseSemanticsTopK]
+	}
+	lists := make([][]rule.Rule, len(groups))
+	for i, g := range groups {
+		lists[i] = d.BySwitch[switches[g.rep]]
+	}
+	return equiv.NewBase(matches, lists...)
+}
+
+// dedupEnabled reports whether whole-switch check dedup applies. It
+// rides the shared-base checker mode: the naive differ has nothing worth
+// deduping, probes never reach the state-based check stage, and
+// PrivateCheckers is the pre-sharing ablation baseline, which must keep
+// measuring the duplicated work.
+func (a *Analyzer) dedupEnabled() bool {
+	return !a.opts.UseNaiveChecker && !a.opts.UseProbes && !a.opts.PrivateCheckers
+}
+
+// stateFingerprints hashes every switch's logical and TCAM rule lists
+// over the worker pool — the dedup grouping key. Hashing is O(rules),
+// trivial next to a BDD check; the session path skips this and reuses
+// the fingerprints it already maintains per switch.
+func (a *Analyzer) stateFingerprints(st State, switches []object.ID) (logFPs, tcamFPs []uint64) {
+	logFPs = make([]uint64, len(switches))
+	tcamFPs = make([]uint64, len(switches))
+	a.forEach(len(switches), func(i int) {
+		logFPs[i] = equiv.Fingerprint(st.Deployment.RulesFor(switches[i]))
+		tcamFPs[i] = equiv.Fingerprint(st.TCAM[switches[i]])
+	})
+	return logFPs, tcamFPs
+}
+
+// dedupPlan is a whole-switch check dedup: switches sharing both the
+// logical- and TCAM-side rule-list fingerprints form one group, the
+// group's lowest-ID switch is checked, and every member replays the
+// verdict. Equivalence reports are pure functions of the two rule lists,
+// so a replayed report is byte-identical to re-running the check.
+type dedupPlan struct {
+	// reps holds one representative switch per group, in ascending order
+	// (switches arrive sorted, so first-seen is lowest-ID).
+	reps []object.ID
+	// groupOf maps the i'th input switch to its group's index in reps.
+	groupOf []int
+	// groups counts multi-member groups; replays counts the non-rep
+	// members — switches that got a verdict without a check.
+	groups  int
+	replays int
+}
+
+// buildDedupPlan groups switches by the (logical, TCAM) fingerprint
+// pair, verifying each member against its group representative's actual
+// rule lists so a 64-bit fingerprint collision degrades to an extra
+// check, never a wrong report.
+func buildDedupPlan(st State, switches []object.ID, logFPs, tcamFPs []uint64) *dedupPlan {
+	plan := &dedupPlan{groupOf: make([]int, len(switches))}
+	byKey := make(map[[2]uint64][]int, len(switches))
+	sizes := make([]int, 0, len(switches))
+	for i, sw := range switches {
+		key := [2]uint64{logFPs[i], tcamFPs[i]}
+		group := -1
+		for _, g := range byKey[key] {
+			rep := plan.reps[g]
+			if rule.SlicesEqual(st.Deployment.RulesFor(sw), st.Deployment.RulesFor(rep)) &&
+				rule.SlicesEqual(st.TCAM[sw], st.TCAM[rep]) {
+				group = g
+				break
+			}
+		}
+		if group < 0 {
+			group = len(plan.reps)
+			plan.reps = append(plan.reps, sw)
+			byKey[key] = append(byKey[key], group)
+			sizes = append(sizes, 0)
+		} else {
+			plan.replays++
+		}
+		sizes[group]++
+		plan.groupOf[i] = group
+	}
+	for _, n := range sizes {
+		if n > 1 {
+			plan.groups++
+		}
+	}
+	return plan
+}
+
+// record publishes the plan's counters into the run's encode stats (a
+// nil plan — dedup disabled — or nil stats is a no-op).
+func (p *dedupPlan) record(es *equiv.EncodeStats) {
+	if p == nil || es == nil {
+		return
+	}
+	es.DedupGroups = p.groups
+	es.DedupReplays = p.replays
+}
+
+// checkDeduped runs the check stage over one representative per dedup
+// group — fanned through the same worker pool as an undeduped run — and
+// replays each group's verdict into all its members' report slots,
+// aligned with switches. Per-switch error attribution is preserved: a
+// failing check is wrapped with the representative's switch ID, and the
+// representative genuinely owns the offending rules (its group mates
+// hold byte-equal lists).
+func (a *Analyzer) checkDeduped(st State, switches []object.ID, logFPs, tcamFPs []uint64,
+	checker func(worker int) *equiv.Checker, check checkFunc) ([]*equiv.Report, *dedupPlan, error) {
+	plan := buildDedupPlan(st, switches, logFPs, tcamFPs)
+	repReports, err := a.checkAllWith(plan.reps, checker, check)
+	if err != nil {
+		return nil, nil, err
+	}
+	reports := make([]*equiv.Report, len(switches))
+	for i := range switches {
+		reports[i] = repReports[plan.groupOf[i]]
+	}
+	return reports, plan, nil
 }
 
 // checkerPool hands each check-stage worker its BDD checker — a fork of

@@ -51,11 +51,13 @@ type Session struct {
 	f  *fabric.Fabric
 
 	// base is the shared frozen encoding base every worker checker
-	// forks: the deployment's distinct rule matches, encoded once. It
-	// persists across runs keyed by the deployment fingerprint (baseFP)
-	// — TCAM drift never invalidates it, only a changed deployment does
-	// — so warm runs reuse encodings across runs, not just within one.
-	// baseDeployment is a pointer-identity fast path past the hashing.
+	// forks: the deployment's distinct rule matches encoded once, plus
+	// the frozen whole-switch semantics roots of its most duplicated
+	// rule lists. It persists across runs keyed by the deployment
+	// fingerprint (baseFP) — TCAM drift never invalidates it, only a
+	// changed deployment (recompile) does — so warm runs reuse both
+	// caches across runs, not just within one. baseDeployment is a
+	// pointer-identity fast path past the hashing.
 	base           *equiv.Base
 	baseFP         uint64
 	baseDeployment *compile.Deployment
@@ -101,7 +103,9 @@ type SessionStats struct {
 	// Runs counts completed analyses.
 	Runs int
 	// Checked counts switches whose equivalence was re-checked (cache
-	// misses: changed rules, invalidations, or first sight).
+	// misses: changed rules, invalidations, or first sight). Of these,
+	// DedupReplays got their fresh verdict from a group representative's
+	// single check rather than a check of their own.
 	Checked int
 	// Replayed counts switches whose cached report was replayed without
 	// re-checking.
@@ -114,17 +118,32 @@ type SessionStats struct {
 	OverCap int
 	// BaseRebuilds counts shared-base builds (the first build included):
 	// one per distinct deployment fingerprint the session has analyzed.
+	// A rebuild refreshes the frozen semantics cache along with the
+	// match memo — both live in the base and share its lifecycle.
 	BaseRebuilds int
 	// BaseNodes and DeltaNodes are gauges refreshed after every run: the
 	// frozen shared base's node count and the sum of the worker
-	// checkers' private deltas.
-	BaseNodes  int
-	DeltaNodes int
+	// checkers' private deltas. BaseSemantics is the number of
+	// whole-switch semantics roots frozen in the current base.
+	BaseNodes     int
+	DeltaNodes    int
+	BaseSemantics int
 	// EncodeHits and EncodeMisses accumulate across runs: match
 	// encodings resolved from a memo (shared base or checker-local)
 	// versus encoded from scratch into a worker's delta.
 	EncodeHits   int
 	EncodeMisses int
+	// FoldHits and FoldMisses accumulate across runs: whole-list
+	// semantics folds resolved from a memo (frozen base root or
+	// checker-local) versus folded from scratch into a worker's delta.
+	FoldHits   int
+	FoldMisses int
+	// DedupGroups and DedupReplays accumulate the whole-switch check
+	// dedup across runs: groups of dirty switches sharing both rule-list
+	// fingerprints, and the member switches whose verdict replayed from
+	// their group's single check.
+	DedupGroups  int
+	DedupReplays int
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
@@ -297,11 +316,31 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 		checkReps[i] = ent.report
 	}
 
+	var plan *dedupPlan
 	if len(dirty) > 0 {
 		s.provisionCheckersLocked(s.a.workers(len(dirty)))
-		fresh, err := s.a.checkAllWith(dirty, s.workerChecker, func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+		check := func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 			return s.a.checkState(st, c, sw)
-		})
+		}
+		var fresh []*equiv.Report
+		var err error
+		if s.a.dedupEnabled() {
+			// Dirty switches sharing both fingerprints — which the
+			// partition above already computed — check once per group.
+			dirtyLog := make([]uint64, len(dirty))
+			dirtyTCAM := make([]uint64, len(dirty))
+			for j, i := range dirtyIdx {
+				dirtyLog[j] = logFPs[i]
+				dirtyTCAM[j] = tcamFPs[i]
+			}
+			fresh, plan, err = s.a.checkDeduped(st, dirty, dirtyLog, dirtyTCAM, s.workerChecker, check)
+			if err == nil {
+				s.stats.DedupGroups += plan.groups
+				s.stats.DedupReplays += plan.replays
+			}
+		} else {
+			fresh, err = s.a.checkAllWith(dirty, s.workerChecker, check)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -331,21 +370,28 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 	s.stats.Replayed += len(switches) - len(dirty)
 	if !s.a.opts.UseNaiveChecker {
 		enc := equiv.AggregateEncodeStats(s.base, s.checkers)
+		plan.record(enc)
 		rep.EncodeStats = enc
 		s.stats.BaseNodes = enc.BaseNodes
 		s.stats.DeltaNodes = enc.DeltaNodes
-		encAfter := encodeTotals{hits: enc.Hits(), misses: enc.Misses}
+		s.stats.BaseSemantics = enc.BaseSemantics
+		encAfter := encodeTotals{
+			hits: enc.Hits(), misses: enc.Misses,
+			foldHits: enc.FoldHits(), foldMisses: enc.FoldMisses,
+		}
 		s.stats.EncodeHits += encAfter.hits - encBefore.hits
 		s.stats.EncodeMisses += encAfter.misses - encBefore.misses
+		s.stats.FoldHits += encAfter.foldHits - encBefore.foldHits
+		s.stats.FoldMisses += encAfter.foldMisses - encBefore.foldMisses
 	}
 	return rep, nil
 }
 
 // encodeTotals is a point-in-time sum of the live checkers' cumulative
-// encoding counters, used to attribute per-run deltas to SessionStats
-// (the checkers themselves persist across runs, so their counters alone
-// cannot distinguish this run's work from history).
-type encodeTotals struct{ hits, misses int }
+// encoding and fold counters, used to attribute per-run deltas to
+// SessionStats (the checkers themselves persist across runs, so their
+// counters alone cannot distinguish this run's work from history).
+type encodeTotals struct{ hits, misses, foldHits, foldMisses int }
 
 func (s *Session) encodeTotalsLocked() encodeTotals {
 	var t encodeTotals
@@ -353,6 +399,8 @@ func (s *Session) encodeTotalsLocked() encodeTotals {
 		cs := c.Stats()
 		t.hits += cs.BaseHits + cs.LocalHits
 		t.misses += cs.Misses
+		t.foldHits += cs.FoldBaseHits + cs.FoldLocalHits
+		t.foldMisses += cs.FoldMisses
 	}
 	return t
 }
@@ -374,6 +422,11 @@ func (s *Session) ensureBaseLocked(d *compile.Deployment) map[object.ID]uint64 {
 	}
 	perSwitch, fp := equiv.DeploymentFingerprints(d.BySwitch)
 	if s.base != nil && fp == s.baseFP {
+		// Content-identical recompile at a new address: keep the base but
+		// re-point its semantics entries at the new deployment's slices,
+		// so the superseded deployment is not pinned by the cache. Safe
+		// here — the run lock is held and no checker is mid-check.
+		s.base.RebindSemantics(d.BySwitch)
 		s.baseDeployment = d
 		return perSwitch
 	}

@@ -449,3 +449,108 @@ func TestSessionRequiresDeploy(t *testing.T) {
 		t.Error("AnalyzeState without deployment must fail")
 	}
 }
+
+// TestSessionFoldSharing pins the semantics-cache contract end to end: a
+// clean fabric's cold session run resolves every whole-switch fold —
+// both the logical side and the (semantically identical) TCAM side —
+// from the base's frozen roots, so not a single fold builds privately;
+// after one switch drifts, exactly its one drifted TCAM list folds into
+// a worker delta.
+func TestSessionFoldSharing(t *testing.T) {
+	pol, topo, err := scout.GenerateWorkload(scout.TestbedWorkloadSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.BaseSemantics == 0 {
+		t.Fatalf("warmup froze no semantics roots: %+v", st)
+	}
+	if st.FoldMisses != 0 {
+		t.Errorf("clean cold run built %d folds privately, want 0 (all frozen in base)", st.FoldMisses)
+	}
+	if st.FoldHits == 0 {
+		t.Error("clean cold run never hit a frozen semantics root")
+	}
+
+	sw := f.Topology().Switches()[0]
+	removeOneRule(t, f, sw)
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sess.Stats()
+	if got := st2.Checked - st.Checked; got != 1 {
+		t.Fatalf("warm run re-checked %d switches, want 1", got)
+	}
+	if got := st2.FoldMisses - st.FoldMisses; got != 1 {
+		t.Errorf("drifted switch caused %d private folds, want exactly 1 (its TCAM side)", got)
+	}
+	if st2.FoldHits <= st.FoldHits {
+		t.Error("drifted switch's logical side must still hit the frozen root")
+	}
+}
+
+// TestSessionDedupReplays drives a session over a state with byte-equal
+// duplicate switches: the dirty-set dedup must check one representative
+// per group, replay the rest (counted in DedupReplays), and stay
+// byte-identical to a cold analyzer on the same state; a second run
+// replays everything from the per-switch cache without re-grouping.
+func TestSessionDedupReplays(t *testing.T) {
+	f := faultyFabric(t, 7)
+	st, clones := dupState(t, f)
+	sess, err := scout.NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.AnalyzeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sess.Stats()
+	if stats.DedupReplays < clones {
+		t.Errorf("DedupReplays = %d, want at least the %d clones", stats.DedupReplays, clones)
+	}
+	if stats.DedupGroups == 0 {
+		t.Error("duplicate switches must form dedup groups")
+	}
+	// Checked counts cache misses (all switches on first sight); the
+	// switches that actually ran a BDD check are Checked minus the
+	// group replays.
+	if got := stats.Checked - stats.DedupReplays; got > len(warm.Switches)-clones {
+		t.Errorf("session ran %d checks for %d switches with %d clones", got, len(warm.Switches), clones)
+	}
+
+	cold, err := scout.NewAnalyzer().AnalyzeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalReport(t, warm), marshalReport(t, cold)) {
+		t.Error("deduped session report differs from cold analyzer")
+	}
+
+	// Unchanged state: everything replays from the per-switch cache, no
+	// new dedup work.
+	if _, err := sess.AnalyzeState(st); err != nil {
+		t.Fatal(err)
+	}
+	again := sess.Stats()
+	if again.Checked != stats.Checked {
+		t.Errorf("second run re-checked %d switches", again.Checked-stats.Checked)
+	}
+	if again.DedupReplays != stats.DedupReplays {
+		t.Errorf("second run grew DedupReplays by %d", again.DedupReplays-stats.DedupReplays)
+	}
+}
