@@ -16,6 +16,7 @@ import (
 	"scout/internal/risk"
 	"scout/internal/rule"
 	"scout/internal/scenario"
+	"scout/internal/stream"
 	"scout/internal/tcam"
 	"scout/internal/topo"
 	"scout/internal/workload"
@@ -161,6 +162,45 @@ type (
 	FaultCode = faultlog.FaultCode
 )
 
+// Dataplane event streaming.
+type (
+	// Event is one switch-scoped dataplane event (TCAM change, link
+	// transition, EPG placement change).
+	Event = faultlog.Event
+	// EventKind classifies a dataplane event.
+	EventKind = faultlog.EventKind
+	// EventStream is the append-only dataplane event stream collectors
+	// and watch loops tail.
+	EventStream = faultlog.EventLog
+	// EventCursor is a stateful consumer position over an EventStream.
+	EventCursor = faultlog.Cursor
+	// EventQueue coalesces switch-scoped events into bounded batches
+	// (per-switch dedupe, size/deadline cuts, overflow-to-coalesce).
+	EventQueue = stream.Queue
+	// EventQueueOptions configures an EventQueue.
+	EventQueueOptions = stream.Options
+	// EventQueueStats counts an EventQueue's coalescing behaviour.
+	EventQueueStats = stream.Stats
+	// EventBatch is one coalesced unit of refresh work cut from an
+	// EventQueue, the input of Session.ApplyEvents.
+	EventBatch = stream.Batch
+)
+
+// Event kinds.
+const (
+	EventTCAMChange = faultlog.EventTCAMChange
+	EventLink       = faultlog.EventLink
+	EventEPG        = faultlog.EventEPG
+)
+
+var (
+	// NewEventStream returns an empty dataplane event stream (production
+	// users feeding their own monitoring plane into a session).
+	NewEventStream = faultlog.NewEventLog
+	// NewEventQueue creates a coalescing event queue.
+	NewEventQueue = stream.New
+)
+
 // Fault codes.
 const (
 	FaultTCAMOverflow      = faultlog.FaultTCAMOverflow
@@ -252,6 +292,8 @@ type (
 	Epoch = collect.Epoch
 	// SwitchDelta is a per-switch rule difference between epochs.
 	SwitchDelta = collect.SwitchDelta
+	// CollectorStats counts a collector's full/partial snapshot work.
+	CollectorStats = collect.Stats
 )
 
 var (

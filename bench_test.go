@@ -427,6 +427,114 @@ func BenchmarkSessionIncremental(b *testing.B) {
 	})
 }
 
+// BenchmarkSessionEventStorm measures the payoff of coalescing an event
+// storm: K events over S switches analyzed once per event (a full
+// snapshot + incremental round each) versus drained through the
+// coalescing queue into one batch and a single partial refresh that
+// re-reads only the S distinct switches. The toggles restore each
+// switch's TCAM every iteration so state stays bounded across b.N.
+func BenchmarkSessionEventStorm(b *testing.B) {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(benchScale), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stormSwitches = 4
+	const eventsPerSwitch = 4
+	if len(topo.Switches()) < stormSwitches {
+		b.Fatalf("spec has %d switches, need %d", len(topo.Switches()), stormSwitches)
+	}
+	newFabric := func(b *testing.B) *scout.Fabric {
+		f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 42, TCAMCapacity: 1 << 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	type toggler struct {
+		sw   scout.ObjectID
+		flip func(phase int)
+	}
+	makeTogglers := func(b *testing.B, f *scout.Fabric) []toggler {
+		out := make([]toggler, 0, stormSwitches)
+		for _, sw := range topo.Switches()[:stormSwitches] {
+			s, err := f.Switch(sw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rules, err := f.CollectTCAM(sw)
+			if err != nil || len(rules) == 0 {
+				b.Fatalf("no rules on switch %d: %v", sw, err)
+			}
+			target := rules[0]
+			out = append(out, toggler{sw: sw, flip: func(phase int) {
+				if phase%2 == 0 {
+					if !s.TCAM().Remove(target.Key()) {
+						b.Fatal("toggle remove failed")
+					}
+					return
+				}
+				if err := s.TCAM().Install(target); err != nil {
+					b.Fatal(err)
+				}
+			}})
+		}
+		return out
+	}
+
+	b.Run("per-event", func(b *testing.B) {
+		f := newFabric(b)
+		togglers := makeTogglers(b, f)
+		sess, err := scout.NewSession(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		collector := scout.NewCollector(f, 2)
+		if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < stormSwitches*eventsPerSwitch; e++ {
+				togglers[e%stormSwitches].flip(e / stormSwitches)
+				if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		f := newFabric(b)
+		togglers := makeTogglers(b, f)
+		sess, err := scout.NewSession(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queue := scout.NewEventQueue(scout.EventQueueOptions{Cap: 64})
+		events := f.EventLog()
+		if _, err := sess.ApplyEvents(scout.EventBatch{}); err != nil {
+			b.Fatal(err) // baseline: full collection anchors the session
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < stormSwitches*eventsPerSwitch; e++ {
+				tg := togglers[e%stormSwitches]
+				tg.flip(e / stormSwitches)
+				queue.Push(events.Append(f.Now(), scout.EventTCAMChange, tg.sw, "storm"))
+			}
+			if _, err := sess.ApplyEvents(queue.Cut(f.Now())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := sess.Stats(); st.EventBatches > 0 {
+			b.ReportMetric(float64(st.EventSwitchesRead)/float64(st.EventBatches), "switches-read/batch")
+		}
+	})
+}
+
 // BenchmarkEquivBDD and BenchmarkEquivNaive compare the exact ROBDD
 // checker against the key-set differ (DESIGN.md ablation: the naive
 // differ is faster but blind to semantic overlap).

@@ -10,6 +10,7 @@
 //	scout-bench -experiment parallel -scale 0.5 -workers 8
 //	scout-bench -experiment sharedbdd -scale 0.5
 //	scout-bench -experiment foldshare -scale 0.25
+//	scout-bench -experiment storm -scale 0.25
 package main
 
 import (
@@ -49,7 +50,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -238,6 +239,207 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 	}
+
+	if want("storm") {
+		fmt.Fprintln(w, "== Event storm: coalescing queue + partial collection vs per-event rounds ==")
+		if err := runStorm(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStorm measures the event-driven streaming layer under a burst
+// storm: K events over S switches drain through the coalescing queue
+// into size-cut batches, each applied as one partial session refresh.
+// Asserting on counters only (CI runners may be single-core):
+//
+//   - coalescing re-checks each distinct switch at most once per batch:
+//     the switch marks that ever became batch members equal pushes minus
+//     coalesced merges, no batch exceeds the configured size, and total
+//     refresh work is bounded by batches x min(S, batch) with at most
+//     ceil(K/batch) batches;
+//   - partial collection reads only dirty switches: the session's
+//     event-path reads equal the queue's batched switch marks, everything
+//     else aliases the previous epoch, and an event-subscribed collector
+//     re-reads exactly the S distinct storm switches;
+//   - the drained stream's report must be byte-identical to a full
+//     AnalyzeEpoch of the same final state.
+func runStorm(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	// Storm a strict subset of the fabric so partial epochs have clean
+	// switches to alias (half the switches, capped at 8, at least 2).
+	numSwitches := topo.NumSwitches()
+	stormS := minInt(8, maxInt(2, numSwitches/2))
+	const perSwitch = 15 // odd: every storm switch ends with its top rule missing
+	const batchSize = 4
+	events := stormS * perSwitch
+	fmt.Fprintf(w, "fabric: %d switches; storm: %d events over %d switches, batch size %d\n\n",
+		numSwitches, events, stormS, batchSize)
+
+	opts := scout.AnalyzerOptions{Workers: cfg.workers}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		return err
+	}
+	refSess, err := scout.NewSession(f, opts)
+	if err != nil {
+		return err
+	}
+	collector := scout.NewCollector(f, 4)
+	evCollector := scout.NewCollector(f, 4)
+	evCollector.Subscribe(f.EventLog())
+	baseEpoch := evCollector.Snapshot()
+
+	// Baselines: both sessions anchor on the same full state.
+	if _, err := sess.ApplyEvents(scout.EventBatch{}); err != nil {
+		return err
+	}
+	if _, err := refSess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+		return err
+	}
+
+	// The storm: bursts of perSwitch toggle events per switch, appended
+	// to the fabric's stream the way its monitoring plane would.
+	cursor := f.EventLog().TailCursor()
+	stormSwitches := topo.Switches()[:stormS]
+	for _, sw := range stormSwitches {
+		s, err := f.Switch(sw)
+		if err != nil {
+			return err
+		}
+		rules, err := f.CollectTCAM(sw)
+		if err != nil {
+			return err
+		}
+		if len(rules) == 0 {
+			return fmt.Errorf("switch %d has an empty TCAM", sw)
+		}
+		target := rules[0]
+		for phase := 0; phase < perSwitch; phase++ {
+			if phase%2 == 0 {
+				if !s.TCAM().Remove(target.Key()) {
+					return fmt.Errorf("switch %d: toggle remove failed", sw)
+				}
+			} else if err := s.TCAM().Install(target); err != nil {
+				return err
+			}
+			f.EventLog().Append(f.Now(), scout.EventTCAMChange, sw, "storm")
+		}
+	}
+
+	// Drain the storm through the queue; apply every size-cut batch.
+	queue := scout.NewEventQueue(scout.EventQueueOptions{Cap: 64, BatchSize: batchSize})
+	for _, ev := range cursor.Drain() {
+		if queue.Push(ev) {
+			if _, err := sess.ApplyEvents(queue.Cut(f.Now())); err != nil {
+				return err
+			}
+		}
+	}
+	for queue.Len() > 0 {
+		if _, err := sess.ApplyEvents(queue.Cut(f.Now())); err != nil {
+			return err
+		}
+	}
+	final, err := sess.ApplyEvents(scout.EventBatch{}) // pure replay at the current clock
+	if err != nil {
+		return err
+	}
+
+	qs := queue.Stats()
+	st := sess.Stats()
+	fmt.Fprintf(w, "queue: %d pushed, %d coalesced into %d switch refreshes across %d batches (max %d)\n",
+		qs.Pushed, qs.Coalesced, qs.BatchedSwitches, qs.Batches, qs.MaxBatch)
+	fmt.Fprintf(w, "session: %d event batches, %d switches re-read, %d aliased\n",
+		st.EventBatches, st.EventSwitchesRead, st.EventSwitchesAliased)
+
+	if qs.Pushed != events {
+		return fmt.Errorf("queue saw %d events, want %d", qs.Pushed, events)
+	}
+	if qs.BatchedSwitches != qs.Pushed-qs.Coalesced {
+		return fmt.Errorf("batched switch marks %d != pushes %d - coalesced %d (a mark was dropped or duplicated)",
+			qs.BatchedSwitches, qs.Pushed, qs.Coalesced)
+	}
+	if qs.MaxBatch > batchSize {
+		return fmt.Errorf("batch of %d switches exceeds configured size %d", qs.MaxBatch, batchSize)
+	}
+	maxBatches := (events + batchSize - 1) / batchSize
+	if qs.Batches > maxBatches {
+		return fmt.Errorf("%d batches for %d events, want at most ceil(K/batch) = %d", qs.Batches, events, maxBatches)
+	}
+	if bound := qs.Batches * minInt(stormS, batchSize); qs.BatchedSwitches > bound {
+		return fmt.Errorf("%d switch refreshes exceed batches x min(S, batch) = %d", qs.BatchedSwitches, bound)
+	}
+	fmt.Fprintf(w, "re-check work bounded by batches x min(S, batch): %d <= %d\n",
+		qs.BatchedSwitches, qs.Batches*minInt(stormS, batchSize))
+
+	// Partial collection reads only dirty switches. The +1 event batch is
+	// the final empty replay, which reads nothing.
+	if st.EventBatches != qs.Batches+1 {
+		return fmt.Errorf("session ran %d event batches, want %d cuts + 1 empty replay", st.EventBatches, qs.Batches)
+	}
+	if st.EventSwitchesRead != qs.BatchedSwitches {
+		return fmt.Errorf("session re-read %d switches, want exactly the %d batch members", st.EventSwitchesRead, qs.BatchedSwitches)
+	}
+	if st.EventSwitchesAliased != st.EventBatches*numSwitches-st.EventSwitchesRead {
+		return fmt.Errorf("aliased %d switches, want %d (everything not re-read)",
+			st.EventSwitchesAliased, st.EventBatches*numSwitches-st.EventSwitchesRead)
+	}
+	fmt.Fprintln(w, "partial refreshes read only batch members, aliased the rest: true")
+
+	// Event-subscribed collector: one partial epoch reading exactly the
+	// distinct storm switches.
+	evEpoch, consumed, err := evCollector.SnapshotEvents()
+	if err != nil {
+		return err
+	}
+	cs := evCollector.Stats()
+	if len(consumed) != events {
+		return fmt.Errorf("collector consumed %d events, want %d", len(consumed), events)
+	}
+	if got := cs.SwitchesRead - numSwitches; got != stormS {
+		return fmt.Errorf("event-driven epoch read %d switches, want the %d distinct storm switches", got, stormS)
+	}
+	dirty := scout.DirtyEpochSwitches(baseEpoch, evEpoch)
+	if len(dirty) != stormS {
+		return fmt.Errorf("event-driven epoch dirtied %d switches, want %d", len(dirty), stormS)
+	}
+	fmt.Fprintf(w, "event-driven collector: 1 partial epoch, %d/%d switches read, %d aliased: true\n",
+		cs.SwitchesRead-numSwitches, numSwitches, cs.SwitchesAliased)
+
+	// Byte-identity against a full AnalyzeEpoch of the same final state.
+	want, err := refSess.AnalyzeEpoch(collector.Snapshot())
+	if err != nil {
+		return err
+	}
+	final.Elapsed, want.Elapsed = 0, 0
+	fData, err := json.Marshal(final)
+	if err != nil {
+		return err
+	}
+	wData, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fData, wData) {
+		return fmt.Errorf("streamed report differs from full AnalyzeEpoch (equivalence violation)")
+	}
+	if final.Consistent || final.TotalMissing == 0 {
+		return fmt.Errorf("storm left no visible faults — the toggles should end with rules missing")
+	}
+	fmt.Fprintf(w, "streamed report byte-identical to full AnalyzeEpoch (%d missing rules flagged): true\n",
+		final.TotalMissing)
 	return nil
 }
 
@@ -712,6 +914,13 @@ func parseInts(s string) ([]int, error) {
 
 func minInt(a, b int) int {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
 		return a
 	}
 	return b

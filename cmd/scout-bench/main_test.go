@@ -141,3 +141,26 @@ func TestRunFoldShareSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStormSmoke runs the event-storm experiment on a tiny workload:
+// coalescing bounds on re-check work, read-only-dirty partial
+// collection, the subscribed collector's single partial epoch, and the
+// streamed-vs-full report identity contract.
+func TestRunStormSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "storm", scale: 0.05, seed: 3, workers: 2}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"coalesced into",
+		"re-check work bounded by batches x min(S, batch):",
+		"partial refreshes read only batch members, aliased the rest: true",
+		"event-driven collector: 1 partial epoch,",
+		"streamed report byte-identical to full AnalyzeEpoch",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

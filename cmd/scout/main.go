@@ -12,9 +12,13 @@
 // Fault syntax: <kind>:<id>@<fraction> where fraction 1.0 is a full
 // object fault and anything lower a partial fault. -disconnect takes a
 // switch ID to render unreachable before a final no-op policy touch.
-// -watch replaces the one-shot analysis with a persistent session:
-// a full baseline run, then one collection + delta re-verification round
-// per fault, re-checking only the switches each fault touched.
+// -watch replaces the one-shot analysis with an event-driven daemon
+// loop over a persistent session: a full baseline round, then dataplane
+// events drain from the fabric's event stream through a coalescing
+// queue — bounded by -queue-cap, cut by size or the -batch-window
+// deadline — and every batch triggers one partial collection and
+// incremental re-verification of only the switches its events name.
+// -scenario is a one-shot replay and cannot be combined with -watch.
 package main
 
 import (
@@ -54,20 +58,28 @@ func main() {
 
 func run() error {
 	var (
-		policyPath = flag.String("policy", "", "policy JSON file (from policygen); empty generates -spec")
-		specName   = flag.String("spec", "testbed", "spec to generate when -policy is empty: production or testbed")
-		seed       = flag.Int64("seed", 1, "fabric and generator seed")
-		capacity   = flag.Int("tcam", 0, "per-switch TCAM capacity (0 = default)")
-		disconnect = flag.Int("disconnect", -1, "switch ID to disconnect before analysis")
-		scenPath   = flag.String("scenario", "", "JSON scenario file to replay instead of -fault/-disconnect")
-		workers    = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
-		watch      = flag.Bool("watch", false, "drive a persistent analysis session: snapshot + delta re-verification around every injected fault")
-		jsonOut    = flag.Bool("json", false, "emit the analysis report as JSON")
-		verbose    = flag.Bool("v", false, "print per-switch details")
+		policyPath  = flag.String("policy", "", "policy JSON file (from policygen); empty generates -spec")
+		specName    = flag.String("spec", "testbed", "spec to generate when -policy is empty: production or testbed")
+		seed        = flag.Int64("seed", 1, "fabric and generator seed")
+		capacity    = flag.Int("tcam", 0, "per-switch TCAM capacity (0 = default)")
+		disconnect  = flag.Int("disconnect", -1, "switch ID to disconnect before analysis")
+		scenPath    = flag.String("scenario", "", "JSON scenario file to replay instead of -fault/-disconnect")
+		workers     = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+		watch       = flag.Bool("watch", false, "drive an event-driven session daemon: full baseline, then coalesced per-batch incremental refreshes")
+		batchWindow = flag.Duration("batch-window", 2*time.Second, "watch mode: cut a pending batch after its oldest event waited this long (requires -watch)")
+		queueCap    = flag.Int("queue-cap", 64, "watch mode: distinct switches buffered before a batch is forced, and the max batch size (requires -watch)")
+		jsonOut     = flag.Bool("json", false, "emit the analysis report as JSON")
+		verbose     = flag.Bool("v", false, "print per-switch details")
 	)
 	var faults faultFlags
 	flag.Var(&faults, "fault", "object fault to inject, e.g. filter:5003@1.0 (repeatable)")
 	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if err := checkWatchFlags(*watch, set); err != nil {
+		return err
+	}
 
 	pol, topo, err := loadPolicy(*policyPath, *specName, *seed)
 	if err != nil {
@@ -137,7 +149,11 @@ func run() error {
 	}
 
 	if *watch {
-		report, err := runWatch(f, parsed, scout.AnalyzerOptions{Workers: *workers}, os.Stdout)
+		report, err := runWatch(f, parsed, watchOptions{
+			analyzer: scout.AnalyzerOptions{Workers: *workers},
+			window:   *batchWindow,
+			queueCap: *queueCap,
+		}, os.Stdout)
 		if err != nil {
 			return err
 		}
@@ -204,47 +220,114 @@ type objectFault struct {
 	fraction float64
 }
 
-// runWatch drives a persistent analysis session the way a production
-// deployment would: a clean baseline epoch is collected and fully
-// analyzed, then every fault is injected in its own round — snapshot,
-// delta re-verification of only the switches the fault touched, report.
-// It returns the final round's report.
-func runWatch(f *scout.Fabric, faults []objectFault, opts scout.AnalyzerOptions, w io.Writer) (*scout.Report, error) {
-	sess, err := scout.NewSession(f, opts)
+// checkWatchFlags rejects flag combinations that mix the one-shot and
+// daemon modes: -scenario is a one-shot replay (its effects would fold
+// invisibly into the watch baseline), and the batching knobs do nothing
+// without the daemon loop. set holds the names of explicitly-set flags.
+func checkWatchFlags(watch bool, set map[string]bool) error {
+	if watch {
+		if set["scenario"] {
+			return fmt.Errorf("-scenario is a one-shot replay and cannot drive the -watch event loop; run it without -watch")
+		}
+		return nil
+	}
+	for _, name := range []string{"batch-window", "queue-cap"} {
+		if set[name] {
+			return fmt.Errorf("-%s only applies to the -watch daemon loop; add -watch or drop the flag", name)
+		}
+	}
+	return nil
+}
+
+// watchOptions configures the -watch daemon loop.
+type watchOptions struct {
+	analyzer scout.AnalyzerOptions
+	window   time.Duration
+	queueCap int
+}
+
+// runWatch drives the event-driven session daemon the way a production
+// deployment would: a cursor is parked at the dataplane event stream's
+// tail, a full baseline round anchors the session, then events drain
+// through a bounded coalescing queue and every batch cut — by size, by
+// the deadline window, or by overflow backpressure — triggers one
+// partial collection and incremental re-verification of just the
+// switches the batch names. A shutdown flush cuts whatever is still
+// pending so no switch is stranded below the deadline. It returns the
+// last report produced (the baseline's when no events arrive).
+func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Writer) (*scout.Report, error) {
+	sess, err := scout.NewSession(f, opts.analyzer)
 	if err != nil {
 		return nil, err
 	}
-	collector := scout.NewCollector(f, len(faults)+1)
+	// Park the cursor before the baseline collection so no mutation can
+	// slip between the stream position and the collected state.
+	cursor := f.EventLog().TailCursor()
+	queue := scout.NewEventQueue(scout.EventQueueOptions{Cap: opts.queueCap, Window: opts.window})
 
-	round := func(label string) (*scout.Report, error) {
-		epoch := collector.Snapshot()
+	round := func(batch scout.EventBatch, label string) (*scout.Report, error) {
 		before := sess.Stats()
-		report, err := sess.AnalyzeEpoch(epoch)
+		report, err := sess.ApplyEvents(batch)
 		if err != nil {
 			return nil, err
 		}
 		after := sess.Stats()
-		fmt.Fprintf(w, "epoch %d (%s): re-checked %d/%d switches (%d replayed), %d missing rules, %v\n",
-			epoch.Seq, label, after.Checked-before.Checked, len(report.Switches),
+		fmt.Fprintf(w, "%s: re-checked %d/%d switches (%d replayed), %d missing rules, %v\n",
+			label, after.Checked-before.Checked, len(report.Switches),
 			after.Replayed-before.Replayed, report.TotalMissing, report.Elapsed.Round(time.Microsecond))
 		return report, nil
 	}
+	cut := func() (*scout.Report, error) {
+		batch := queue.Cut(f.Now())
+		label := fmt.Sprintf("batch %d: %d switches (waited %v)",
+			queue.Stats().Batches, len(batch.Switches), batch.Latency())
+		return round(batch, label)
+	}
 
-	report, err := round("baseline")
+	report, err := round(scout.EventBatch{}, "baseline: full collection")
 	if err != nil {
 		return nil, err
 	}
+
+	// pump drains new events into the queue and cuts every batch that
+	// came due (size, deadline, or overflow backpressure).
+	pump := func() error {
+		due := false
+		for _, ev := range cursor.Drain() {
+			due = queue.Push(ev) || due
+		}
+		for due || queue.Due(f.Now()) {
+			due = false
+			if report, err = cut(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for _, flt := range faults {
 		removed, err := f.InjectObjectFault(flt.ref, flt.fraction)
 		if err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(w, "injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
-		if report, err = round(flt.ref.String()); err != nil {
+		if err := pump(); err != nil {
 			return nil, err
 		}
 	}
+	// Shutdown flush: cut whatever is still below size and deadline.
+	for queue.Len() > 0 {
+		if report, err = cut(); err != nil {
+			return nil, err
+		}
+	}
+
+	qs := queue.Stats()
+	fmt.Fprintf(w, "event queue: %d pushed, %d coalesced, %d stale, %d overflows; %d batches (max %d switches)\n",
+		qs.Pushed, qs.Coalesced, qs.Stale, qs.Overflows, qs.Batches, qs.MaxBatch)
 	st := sess.Stats()
+	fmt.Fprintf(w, "streaming collection: %d partial refreshes, %d switches re-read, %d aliased\n",
+		st.EventBatches, st.EventSwitchesRead, st.EventSwitchesAliased)
 	fmt.Fprintf(w, "session encodings: base %d nodes (%d rebuilds, %d semantics), delta %d nodes, encode hits %d / misses %d\n",
 		st.BaseNodes, st.BaseRebuilds, st.BaseSemantics, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
 	fmt.Fprintf(w, "session fold sharing: hits %d / misses %d, check dedup %d groups / %d replays\n",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"scout"
 )
@@ -92,8 +93,10 @@ func TestLoadPolicySmallSpec(t *testing.T) {
 	}
 }
 
-// TestRunWatch drives the persistent-session mode: a full baseline round,
-// then one delta round per fault that re-checks only touched switches.
+// TestRunWatch drives the event-driven daemon loop: a full baseline
+// round, then fault-injection events drain through the coalescing queue
+// and the shutdown flush cuts one batch that re-checks only the
+// switches the events named.
 func TestRunWatch(t *testing.T) {
 	pol, topo, err := loadPolicy("", "testbed", 1)
 	if err != nil {
@@ -106,16 +109,19 @@ func TestRunWatch(t *testing.T) {
 	if err := f.Deploy(); err != nil {
 		t.Fatal(err)
 	}
-	var filterID scout.ObjectID
-	for id := range pol.Filters {
-		if filterID == 0 || id < filterID {
-			filterID = id
+	// The lowest EPG's rules live on a strict subset of the testbed's
+	// switches (unlike a filter fault, which touches everything), so the
+	// batch exercises the aliased-switch path.
+	var epgID scout.ObjectID
+	for id := range pol.EPGs {
+		if epgID == 0 || id < epgID {
+			epgID = id
 		}
 	}
 
 	var out bytes.Buffer
-	report, err := runWatch(f, []objectFault{{ref: scout.FilterRef(filterID), fraction: 1.0}},
-		scout.AnalyzerOptions{Workers: 2}, &out)
+	report, err := runWatch(f, []objectFault{{ref: scout.EPGRef(epgID), fraction: 1.0}},
+		watchOptions{analyzer: scout.AnalyzerOptions{Workers: 2}, window: 2 * time.Second, queueCap: 64}, &out)
 	if err != nil {
 		t.Fatalf("runWatch: %v\noutput:\n%s", err, out.String())
 	}
@@ -124,15 +130,52 @@ func TestRunWatch(t *testing.T) {
 	}
 	n := topo.NumSwitches()
 	for _, want := range []string{
-		fmt.Sprintf("epoch 1 (baseline): re-checked %d/%d", n, n),
-		"injected filter:",
-		fmt.Sprintf("epoch 2 (filter:%d): re-checked", filterID),
+		fmt.Sprintf("baseline: full collection: re-checked %d/%d", n, n),
+		"injected epg:",
+		"batch 1: ",
+		"event queue: ",
+		"streaming collection: 1 partial refreshes, ",
 		"session encodings: base ",
 		"(1 rebuilds, ",
 		"session fold sharing: hits ",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The batch must re-read strictly fewer switches than the fabric has
+	// — the fault touched a subset and the rest aliased the prior epoch.
+	if strings.Contains(out.String(), fmt.Sprintf("batch 1: %d switches", n)) ||
+		strings.Contains(out.String(), ", 0 aliased") {
+		t.Errorf("fault batch re-read every switch — partial refresh not engaged:\n%s", out.String())
+	}
+}
+
+// TestCheckWatchFlags pins the one-shot/daemon flag-combination rules:
+// mixing them must fail loudly instead of silently misbehaving.
+func TestCheckWatchFlags(t *testing.T) {
+	tests := []struct {
+		name    string
+		watch   bool
+		set     []string
+		wantErr bool
+	}{
+		{"watch alone", true, nil, false},
+		{"watch with fault", true, []string{"fault", "v"}, false},
+		{"watch with scenario", true, []string{"scenario"}, true},
+		{"one-shot with scenario", false, []string{"scenario"}, false},
+		{"batch-window without watch", false, []string{"batch-window"}, true},
+		{"queue-cap without watch", false, []string{"queue-cap"}, true},
+		{"watch with batching knobs", true, []string{"batch-window", "queue-cap"}, false},
+	}
+	for _, tt := range tests {
+		set := make(map[string]bool, len(tt.set))
+		for _, name := range tt.set {
+			set[name] = true
+		}
+		err := checkWatchFlags(tt.watch, set)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%s: checkWatchFlags = %v, wantErr %v", tt.name, err, tt.wantErr)
 		}
 	}
 }

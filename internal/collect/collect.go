@@ -1,9 +1,13 @@
-// Package collect implements periodic network-state collection (§III-C:
-// "collecting the TCAM rules deployed across all switches periodically
-// and/or in an event-driven fashion"). A Collector snapshots the fabric's
-// TCAMs into immutable epochs, keeps a bounded history, and can diff
-// epochs to show which rules appeared or vanished between collections —
-// the raw material for trend analysis and post-incident forensics.
+// Package collect implements periodic and event-driven network-state
+// collection (§III-C: "collecting the TCAM rules deployed across all
+// switches periodically and/or in an event-driven fashion"). A Collector
+// snapshots the fabric's TCAMs into immutable epochs, keeps a bounded
+// history, and can diff epochs to show which rules appeared or vanished
+// between collections — the raw material for trend analysis and
+// post-incident forensics. Subscribed to a faultlog.EventLog, it also
+// collects *partial* epochs: only the switches named by pending events
+// are re-read, everything else aliases the previous epoch's rule slices,
+// so a collection round costs O(dirty switches) instead of O(fabric).
 package collect
 
 import (
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"scout/internal/fabric"
+	"scout/internal/faultlog"
 	"scout/internal/object"
 	"scout/internal/rule"
 )
@@ -33,6 +38,23 @@ func (e *Epoch) RuleCount() int {
 	return n
 }
 
+// Stats counts a collector's snapshot work — the observability hook for
+// event-driven collection, where the payoff is precisely the switches a
+// partial epoch did NOT re-read.
+type Stats struct {
+	// FullSnapshots and PartialSnapshots count epochs by kind.
+	FullSnapshots    int
+	PartialSnapshots int
+	// SwitchesRead counts per-switch TCAM reads across all snapshots;
+	// SwitchesAliased counts the switches a partial epoch carried
+	// forward from the previous epoch without touching the device.
+	SwitchesRead    int
+	SwitchesAliased int
+	// EventsConsumed counts events drained from the subscribed stream
+	// by SnapshotEvents.
+	EventsConsumed int
+}
+
 // Collector snapshots a fabric and retains a bounded epoch history. It is
 // safe for concurrent use.
 type Collector struct {
@@ -41,6 +63,10 @@ type Collector struct {
 	history []*Epoch
 	limit   int
 	nextSeq int
+	// cursor is the consumer position over the subscribed event stream
+	// (nil until Subscribe); SnapshotEvents drains it.
+	cursor *faultlog.Cursor
+	stats  Stats
 }
 
 // New creates a collector keeping at most limit epochs (<= 0 keeps 16).
@@ -51,21 +77,125 @@ func New(f *fabric.Fabric, limit int) *Collector {
 	return &Collector{f: f, limit: limit}
 }
 
+// Subscribe attaches the collector to a dataplane event stream from its
+// current end: subsequent SnapshotEvents calls re-read only the switches
+// named by events appended after this call. Subscribe before the first
+// (full) Snapshot, so no mutation can slip between the baseline and the
+// cursor position.
+func (c *Collector) Subscribe(events *faultlog.EventLog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cursor = events.TailCursor()
+}
+
 // Snapshot collects every switch's TCAM into a new epoch.
 func (c *Collector) Snapshot() *Epoch {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Collector) snapshotLocked() *Epoch {
+	tcams := c.f.CollectAll()
+	c.stats.FullSnapshots++
+	c.stats.SwitchesRead += len(tcams)
+	return c.retainLocked(tcams)
+}
+
+// retainLocked stamps a collected TCAM map as the next epoch and retains
+// it in the bounded history.
+func (c *Collector) retainLocked(tcams map[object.ID][]rule.Rule) *Epoch {
 	c.nextSeq++
 	e := &Epoch{
 		Seq:  c.nextSeq,
 		Time: c.f.Now(),
-		TCAM: c.f.CollectAll(),
+		TCAM: tcams,
 	}
 	c.history = append(c.history, e)
 	if len(c.history) > c.limit {
 		c.history = c.history[len(c.history)-c.limit:]
 	}
 	return e
+}
+
+// SnapshotSwitches collects a partial epoch: only the named switches are
+// re-read from the fabric; every other switch's rule slice aliases the
+// previous epoch's (same backing array, zero copy), so the epoch is a
+// complete fabric view at the cost of the dirty subset. DirtySwitches
+// and Diff semantics are intact — an aliased slice compares equal to its
+// predecessor, a re-read one compares by content. Without a previous
+// epoch the call degrades to a full Snapshot (there is nothing to alias).
+//
+// Correctness rests on the event contract: a switch not named since the
+// previous epoch has an unchanged TCAM. Callers that cannot trust the
+// stream end to end should interleave periodic full Snapshots.
+func (c *Collector) SnapshotSwitches(dirty []object.ID) (*Epoch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotSwitchesLocked(dirty)
+}
+
+func (c *Collector) snapshotSwitchesLocked(dirty []object.ID) (*Epoch, error) {
+	if len(c.history) == 0 {
+		return c.snapshotLocked(), nil
+	}
+	prev := c.history[len(c.history)-1]
+	tcams := make(map[object.ID][]rule.Rule, len(prev.TCAM))
+	for sw, rules := range prev.TCAM {
+		tcams[sw] = rules
+	}
+	read := 0
+	for _, sw := range dirty {
+		rules, err := c.f.CollectTCAM(sw)
+		if err != nil {
+			return nil, fmt.Errorf("collect: partial epoch: %w", err)
+		}
+		// A switch unseen by the previous epoch simply joins the new one
+		// (dirty by definition for the diff).
+		tcams[sw] = rules
+		read++
+	}
+	c.stats.PartialSnapshots++
+	c.stats.SwitchesRead += read
+	c.stats.SwitchesAliased += len(tcams) - read
+	return c.retainLocked(tcams), nil
+}
+
+// SnapshotEvents drains the subscribed event stream and collects a
+// partial epoch covering exactly the switches the pending events name
+// (duplicates collapse to one read). It returns the epoch and the events
+// consumed; with no pending events the epoch is a pure alias of the
+// previous one (zero switches read) and the returned slice is empty.
+// SnapshotEvents panics if Subscribe was never called.
+func (c *Collector) SnapshotEvents() (*Epoch, []faultlog.Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cursor == nil {
+		panic("collect: SnapshotEvents without Subscribe")
+	}
+	evs := c.cursor.Drain()
+	c.stats.EventsConsumed += len(evs)
+	seen := make(map[object.ID]bool, len(evs))
+	dirty := make([]object.ID, 0, len(evs))
+	for _, ev := range evs {
+		if !seen[ev.Switch] {
+			seen[ev.Switch] = true
+			dirty = append(dirty, ev.Switch)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	e, err := c.snapshotSwitchesLocked(dirty)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, evs, nil
+}
+
+// Stats returns the collector's cumulative snapshot counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // History returns the retained epochs, oldest first.

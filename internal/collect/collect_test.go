@@ -223,3 +223,121 @@ func TestEpochImmutableAgainstFabricChanges(t *testing.T) {
 		t.Error("epoch must be an immutable snapshot")
 	}
 }
+
+// TestSnapshotSwitchesAliases pins the partial-epoch contract: only the
+// named switches are re-read, every other switch's slice aliases the
+// previous epoch's backing array (zero copy), and diff semantics over
+// the mixed epoch are intact.
+func TestSnapshotSwitchesAliases(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	e1 := c.Snapshot()
+
+	if _, err := f.EvictTCAM(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.SnapshotSwitches([]object.ID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seq != e1.Seq+1 {
+		t.Fatalf("partial epoch Seq = %d, want %d", e2.Seq, e1.Seq+1)
+	}
+	// Clean switch 2 aliases the previous epoch's storage.
+	if len(e2.TCAM[2]) == 0 || &e2.TCAM[2][0] != &e1.TCAM[2][0] {
+		t.Error("clean switch must alias the previous epoch's rule slice")
+	}
+	// Dirty switch 1 was re-read and reflects the eviction.
+	if len(e2.TCAM[1]) != len(e1.TCAM[1])-1 {
+		t.Errorf("dirty switch rules = %d, want %d", len(e2.TCAM[1]), len(e1.TCAM[1])-1)
+	}
+	if dirty := DirtySwitches(e1, e2); len(dirty) != 1 || dirty[0] != 1 {
+		t.Errorf("dirty = %v, want [1]", dirty)
+	}
+	st := c.Stats()
+	if st.FullSnapshots != 1 || st.PartialSnapshots != 1 {
+		t.Errorf("snapshot counts = %+v, want 1 full + 1 partial", st)
+	}
+	if st.SwitchesRead != 3 || st.SwitchesAliased != 1 {
+		t.Errorf("read/aliased = %d/%d, want 3/1", st.SwitchesRead, st.SwitchesAliased)
+	}
+}
+
+// TestSnapshotSwitchesNoHistory pins the degradation rule: with nothing
+// to alias, a partial snapshot is a full one.
+func TestSnapshotSwitchesNoHistory(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	e, err := c.SnapshotSwitches([]object.ID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.TCAM) != 2 || e.RuleCount() == 0 {
+		t.Fatalf("fallback epoch = %+v, want a full collection", e)
+	}
+	st := c.Stats()
+	if st.FullSnapshots != 1 || st.PartialSnapshots != 0 {
+		t.Errorf("no-history partial must count as full: %+v", st)
+	}
+}
+
+// TestSnapshotEvents pins the event-driven collection round: pending
+// events name the dirty switches (duplicates collapse to one read), and
+// a round with no pending events aliases everything.
+func TestSnapshotEvents(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	c.Subscribe(f.EventLog())
+	c.Snapshot()
+
+	// Two mutations on the same switch coalesce to one re-read.
+	if _, err := f.EvictTCAM(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EvictTCAM(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, evs, err := c.SnapshotEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("consumed %d events, want 2", len(evs))
+	}
+	st := c.Stats()
+	if st.EventsConsumed != 2 || st.PartialSnapshots != 1 {
+		t.Errorf("stats = %+v, want 2 events consumed in 1 partial", st)
+	}
+	if st.SwitchesRead != 3 || st.SwitchesAliased != 1 {
+		t.Errorf("read/aliased = %d/%d, want 3/1 (duplicates collapse)", st.SwitchesRead, st.SwitchesAliased)
+	}
+	if dirty := DirtySwitches(c.History()[0], e); len(dirty) != 1 || dirty[0] != 2 {
+		t.Errorf("dirty = %v, want [2]", dirty)
+	}
+
+	// Quiet round: pure alias, zero reads.
+	e2, evs, err := c.SnapshotEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("quiet round consumed %v", evs)
+	}
+	if st := c.Stats(); st.SwitchesRead != 3 || st.SwitchesAliased != 3 {
+		t.Errorf("quiet round stats = %+v, want 0 extra reads, 2 extra aliases", st)
+	}
+	if dirty := DirtySwitches(e, e2); len(dirty) != 0 {
+		t.Errorf("quiet round dirty = %v, want none", dirty)
+	}
+}
+
+func TestSnapshotEventsWithoutSubscribePanics(t *testing.T) {
+	f := deployedFabric(t)
+	c := New(f, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("SnapshotEvents without Subscribe must panic")
+		}
+	}()
+	c.SnapshotEvents()
+}

@@ -83,6 +83,7 @@ type Fabric struct {
 
 	changes *faultlog.ChangeLog
 	faults  *faultlog.FaultLog
+	events  *faultlog.EventLog
 
 	deployed *compile.Deployment // last compiled desired state
 
@@ -115,6 +116,7 @@ func New(p *policy.Policy, t *topo.Topology, opts Options) (*Fabric, error) {
 		switches: make(map[object.ID]*Switch, t.NumSwitches()),
 		changes:  faultlog.NewChangeLog(),
 		faults:   faultlog.NewFaultLog(),
+		events:   faultlog.NewEventLog(),
 		now:      start,
 		tick:     tick,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
@@ -143,6 +145,20 @@ func (f *Fabric) ChangeLog() *faultlog.ChangeLog { return f.changes }
 
 // FaultLog returns the device fault log.
 func (f *Fabric) FaultLog() *faultlog.FaultLog { return f.faults }
+
+// EventLog returns the dataplane event stream: one switch-scoped event
+// per TCAM mutation, link transition, or EPG placement change. The
+// simulator emits events for *every* TCAM write, including the silent
+// faults (corruption, eviction) that raise no device fault log — it
+// plays the monitoring plane's role, so event-driven collection can be
+// exercised against any failure mode. A real deployment's stream would
+// miss silent faults; the periodic full-snapshot path exists for those.
+func (f *Fabric) EventLog() *faultlog.EventLog { return f.events }
+
+// emit appends a switch-scoped event at the current logical time.
+func (f *Fabric) emit(kind faultlog.EventKind, sw object.ID, detail string) {
+	f.events.Append(f.now, kind, sw, detail)
+}
 
 // Now returns the current logical time.
 func (f *Fabric) Now() time.Time { return f.now }
@@ -182,7 +198,7 @@ func (f *Fabric) Deploy() error {
 }
 
 // pushToSwitch reconciles a switch's local view and TCAM with the desired
-// rule list.
+// rule list, emitting one TCAM-change event when the TCAM was mutated.
 func (f *Fabric) pushToSwitch(s *Switch, desired []rule.Rule) {
 	if !s.reachable {
 		return // instructions lost; controller-side state already updated
@@ -191,12 +207,13 @@ func (f *Fabric) pushToSwitch(s *Switch, desired []rule.Rule) {
 	for _, r := range desired {
 		want[r.Key()] = r
 	}
+	changed := false
 	// Delete stale entries from the agent view and TCAM.
 	for k := range s.view {
 		if _, ok := want[k]; !ok {
 			delete(s.view, k)
-			if s.agentUp {
-				s.tcam.Remove(k)
+			if s.agentUp && s.tcam.Remove(k) {
+				changed = true
 			}
 		}
 	}
@@ -214,20 +231,27 @@ func (f *Fabric) pushToSwitch(s *Switch, desired []rule.Rule) {
 			s.pending = append(s.pending, r)
 			continue
 		}
-		f.renderRule(s, r)
+		if f.renderRule(s, r) {
+			changed = true
+		}
+	}
+	if changed {
+		f.emit(faultlog.EventTCAMChange, s.ID, "policy push")
 	}
 }
 
-// renderRule installs one rule into TCAM, logging overflow faults.
-func (f *Fabric) renderRule(s *Switch, r rule.Rule) {
+// renderRule installs one rule into TCAM, logging overflow faults. It
+// reports whether the rule was actually installed.
+func (f *Fabric) renderRule(s *Switch, r rule.Rule) bool {
 	err := s.tcam.Install(r)
 	if err == nil {
-		return
+		return true
 	}
 	if errors.Is(err, tcam.ErrFull) {
 		f.faults.Raise(f.now, faultlog.FaultTCAMOverflow, s.ID,
 			fmt.Sprintf("tcam at %d/%d entries", s.tcam.Len(), s.tcam.Capacity()))
 	}
+	return false
 }
 
 // --- Policy change operations (recorded in the change log) ---
@@ -284,13 +308,18 @@ func (f *Fabric) RemoveFilterFromContract(contract, filter object.ID) error {
 	return f.Deploy()
 }
 
-// AddBinding binds a contract to an EPG pair and redeploys.
+// AddBinding binds a contract to an EPG pair and redeploys. Each switch
+// hosting the pair gets an EPG placement event (the subsequent push emits
+// TCAM-change events only for switches whose TCAM actually moved).
 func (f *Fabric) AddBinding(from, to, contract object.ID) error {
 	f.pol.Bind(from, to, contract)
 	at := f.advance()
 	f.changes.Append(at, faultlog.OpModify, object.EPG(from), "bind contract")
 	f.changes.Append(at, faultlog.OpModify, object.EPG(to), "bind contract")
 	f.changes.Append(at, faultlog.OpModify, object.Contract(contract), "bind to epg pair")
+	for _, sw := range f.topology.SwitchesForPair(from, to) {
+		f.emit(faultlog.EventEPG, sw, fmt.Sprintf("contract %d bound on hosted pair", contract))
+	}
 	return f.Deploy()
 }
 
@@ -332,6 +361,7 @@ func (f *Fabric) Disconnect(sw object.ID) error {
 	if s.reachable {
 		s.reachable = false
 		f.faults.Raise(f.advance(), faultlog.FaultSwitchUnreachable, sw, "heartbeat lost")
+		f.emit(faultlog.EventLink, sw, "control channel down")
 	}
 	return nil
 }
@@ -347,6 +377,7 @@ func (f *Fabric) Reconnect(sw object.ID) error {
 	if !s.reachable {
 		s.reachable = true
 		f.faults.Clear(f.advance(), faultlog.FaultSwitchUnreachable, sw)
+		f.emit(faultlog.EventLink, sw, "control channel restored")
 	}
 	return nil
 }
@@ -374,10 +405,16 @@ func (f *Fabric) RestartAgent(sw object.ID) error {
 	if !s.agentUp {
 		s.agentUp = true
 		f.faults.Clear(f.advance(), faultlog.FaultAgentCrash, sw)
+		rendered := false
 		for _, r := range s.pending {
-			f.renderRule(s, r)
+			if f.renderRule(s, r) {
+				rendered = true
+			}
 		}
 		s.pending = nil
+		if rendered {
+			f.emit(faultlog.EventTCAMChange, sw, "agent restart rendered queued rules")
+		}
 	}
 	return nil
 }
@@ -391,7 +428,11 @@ func (f *Fabric) CorruptTCAM(sw object.ID, n int, field tcam.CorruptionField) ([
 		return nil, err
 	}
 	f.advance()
-	return s.tcam.Corrupt(n, field, f.rng), nil
+	keys := s.tcam.Corrupt(n, field, f.rng)
+	if len(keys) > 0 {
+		f.emit(faultlog.EventTCAMChange, sw, "tcam corruption")
+	}
+	return keys, nil
 }
 
 // EvictTCAM removes n random TCAM entries on switch sw (local eviction the
@@ -402,7 +443,11 @@ func (f *Fabric) EvictTCAM(sw object.ID, n int) ([]rule.Rule, error) {
 		return nil, err
 	}
 	f.advance()
-	return s.tcam.EvictRandom(n, f.rng), nil
+	evicted := s.tcam.EvictRandom(n, f.rng)
+	if len(evicted) > 0 {
+		f.emit(faultlog.EventTCAMChange, sw, "local rule eviction")
+	}
+	return evicted, nil
 }
 
 // InjectObjectFault deletes from the TCAMs the rules derived from the
@@ -444,12 +489,22 @@ func (f *Fabric) InjectObjectFault(ref object.Ref, fraction float64) (int, error
 		})
 	}
 	removed := 0
+	touched := make(map[object.ID]bool)
 	for _, t := range targets[:n] {
 		if f.switches[t.sw].tcam.Remove(t.key) {
 			removed++
+			touched[t.sw] = true
 		}
 	}
 	f.changes.Append(f.advance(), faultlog.OpModify, ref, "configuration action preceding fault")
+	swIDs := make([]object.ID, 0, len(touched))
+	for sw := range touched {
+		swIDs = append(swIDs, sw)
+	}
+	sort.Slice(swIDs, func(i, j int) bool { return swIDs[i] < swIDs[j] })
+	for _, sw := range swIDs {
+		f.emit(faultlog.EventTCAMChange, sw, "rules lost: "+ref.String())
+	}
 	return removed, nil
 }
 

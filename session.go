@@ -11,6 +11,7 @@ import (
 	"scout/internal/fabric"
 	"scout/internal/object"
 	"scout/internal/risk"
+	"scout/internal/rule"
 )
 
 // sessionCheckerNodeBudget bounds how many BDD nodes a session worker
@@ -144,6 +145,15 @@ type SessionStats struct {
 	// their group's single check.
 	DedupGroups  int
 	DedupReplays int
+	// EventBatches counts ApplyEvents runs that refreshed against a
+	// prior epoch (partial collections); EventSwitchesRead the switches
+	// those runs re-read from the fabric, EventSwitchesAliased the
+	// switches carried forward from the previous epoch without a read.
+	// Together they pin the streaming path's collection cost: an event
+	// batch touches only the switches its events name.
+	EventBatches         int
+	EventSwitchesRead    int
+	EventSwitchesAliased int
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
@@ -214,6 +224,80 @@ func (s *Session) AnalyzeEpoch(e *Epoch) (*Report, error) {
 		return nil, err
 	}
 	s.lastEpoch = e
+	return rep, nil
+}
+
+// ApplyEvents is the event-driven refresh path: instead of analyzing a
+// fully collected epoch, the session re-reads only the switches the
+// batch names (one coalesced batch from a stream.Queue), aliases every
+// other switch's rules from its previous epoch, and runs the usual
+// incremental pipeline — so a storm of K events over S switches costs
+// one partial collection and at most min(S, batch) re-checks per batch,
+// while the report stays byte-identical to a full AnalyzeEpoch of the
+// same final state at any worker count (the fold stages are unchanged).
+//
+// The first ApplyEvents run of a session (or the first after Invalidate
+// or a failed run dropped the epoch anchor) has no previous epoch to
+// alias, so it falls back to a full collection — the baseline every
+// event-driven loop needs anyway. Correctness afterwards rests on the
+// event contract: a switch with no event since the previous run has an
+// unchanged TCAM. Feed every dataplane event through the queue (or
+// interleave periodic AnalyzeEpoch rounds) to keep that true.
+//
+// An empty batch (a deadline timer firing with nothing pending) replays
+// the previous verdicts without touching the fabric.
+func (s *Session) ApplyEvents(batch EventBatch) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.f.Deployment()
+	if d == nil {
+		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	var (
+		tcams     map[object.ID][]rule.Rule
+		cleanTCAM map[object.ID]bool
+		seq       int
+	)
+	if s.lastEpoch == nil {
+		tcams = s.f.CollectAll()
+	} else {
+		prev := s.lastEpoch
+		seq = prev.Seq
+		tcams = make(map[object.ID][]rule.Rule, len(prev.TCAM))
+		cleanTCAM = make(map[object.ID]bool, len(prev.TCAM))
+		for sw, rules := range prev.TCAM {
+			tcams[sw] = rules
+			cleanTCAM[sw] = true
+		}
+		for _, sw := range batch.Switches {
+			rules, err := s.f.CollectTCAM(sw)
+			if err != nil {
+				return nil, fmt.Errorf("scout: event refresh: %w", err)
+			}
+			tcams[sw] = rules
+			delete(cleanTCAM, sw)
+		}
+		s.stats.EventBatches++
+		s.stats.EventSwitchesRead += len(batch.Switches)
+		s.stats.EventSwitchesAliased += len(tcams) - len(batch.Switches)
+	}
+	now := s.f.Now()
+	rep, err := s.analyzeLocked(State{
+		Deployment: d,
+		TCAM:       tcams,
+		Changes:    s.f.ChangeLog(),
+		Faults:     s.f.FaultLog(),
+		Now:        now,
+	}, cleanTCAM)
+	if err != nil {
+		return nil, err
+	}
+	// The synthetic epoch anchors the next partial refresh (and any
+	// interleaved AnalyzeEpoch's diff). It carries the previous
+	// collector sequence number forward: epoch Seq is a collector
+	// lineage marker, and this epoch belongs to the session, not a
+	// collector history.
+	s.lastEpoch = &collect.Epoch{Seq: seq, Time: now, TCAM: tcams}
 	return rep, nil
 }
 

@@ -1,0 +1,214 @@
+package scout_test
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"scout"
+)
+
+// TestFabricEmitsEvents pins the simulator's monitoring-plane role:
+// every dataplane mutation — policy pushes, link transitions, and the
+// silent faults a real event stream would miss — appends a switch-scoped
+// event to the fabric's stream.
+func TestFabricEmitsEvents(t *testing.T) {
+	pol, topo, err := scout.GenerateWorkload(scout.TestbedWorkloadSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if f.EventLog().Len() == 0 {
+		t.Fatal("deploy emitted no events")
+	}
+	sw := topo.Switches()[0]
+	cursor := f.EventLog().TailCursor()
+
+	expect := func(op string, kind scout.EventKind, wantSwitch scout.ObjectID) {
+		t.Helper()
+		evs := cursor.Drain()
+		if len(evs) == 0 {
+			t.Fatalf("%s emitted no events", op)
+		}
+		found := false
+		for _, ev := range evs {
+			if ev.Kind == kind && ev.Switch == wantSwitch {
+				found = true
+			}
+			if ev.Seq <= 0 {
+				t.Fatalf("%s: event without sequence number: %+v", op, ev)
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no %v event for switch %d in %+v", op, kind, wantSwitch, evs)
+		}
+	}
+
+	if err := f.Disconnect(sw); err != nil {
+		t.Fatal(err)
+	}
+	expect("Disconnect", scout.EventLink, sw)
+	if err := f.Reconnect(sw); err != nil {
+		t.Fatal(err)
+	}
+	expect("Reconnect", scout.EventLink, sw)
+	if _, err := f.EvictTCAM(sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	expect("EvictTCAM", scout.EventTCAMChange, sw)
+	if _, err := f.CorruptTCAM(sw, 1, scout.CorruptDstEPG); err != nil {
+		t.Fatal(err)
+	}
+	expect("CorruptTCAM", scout.EventTCAMChange, sw)
+
+	var filterID scout.ObjectID
+	for id := range pol.Filters {
+		if filterID == 0 || id < filterID {
+			filterID = id
+		}
+	}
+	if _, err := f.InjectObjectFault(scout.FilterRef(filterID), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	evs := cursor.Drain()
+	if len(evs) == 0 {
+		t.Fatal("InjectObjectFault emitted no events")
+	}
+	for _, ev := range evs {
+		if ev.Kind != scout.EventTCAMChange {
+			t.Fatalf("InjectObjectFault emitted %v, want tcam-change", ev.Kind)
+		}
+	}
+}
+
+// TestApplyEventsMatchesAnalyzeEpoch is the streaming equivalence
+// property: a session fed coalesced event batches (including
+// size-limited mid-stream cuts that leave work pending) must, once the
+// queue is drained, produce a report byte-identical to a full
+// AnalyzeEpoch of the same final state — at every worker count, over a
+// randomized fabric-mutation sequence. The final reports must also
+// agree across worker counts.
+func TestApplyEventsMatchesAnalyzeEpoch(t *testing.T) {
+	var finals [][]byte
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		f := faultyFabric(t, 11)
+		opts := scout.AnalyzerOptions{Workers: workers}
+		streamSess, err := scout.NewSession(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSess, err := scout.NewSession(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collector := scout.NewCollector(f, 4)
+		// Tail from here: the baseline full collections below cover the
+		// seed faults the cursor skips.
+		cursor := f.EventLog().TailCursor()
+		// BatchSize 3 forces mid-stream cuts that leave switches pending,
+		// so the equivalence must survive partially-applied storms.
+		queue := scout.NewEventQueue(scout.EventQueueOptions{Cap: 64, BatchSize: 3})
+
+		compare := func(step int) {
+			t.Helper()
+			// Drain everything pending, then take a fresh report at the
+			// current clock (an empty batch is a pure replay).
+			for _, ev := range cursor.Drain() {
+				queue.Push(ev)
+			}
+			for queue.Len() > 0 {
+				if _, err := streamSess.ApplyEvents(queue.Cut(f.Now())); err != nil {
+					t.Fatalf("step %d: ApplyEvents: %v", step, err)
+				}
+			}
+			got, err := streamSess.ApplyEvents(scout.EventBatch{})
+			if err != nil {
+				t.Fatalf("step %d: ApplyEvents(empty): %v", step, err)
+			}
+			want, err := refSess.AnalyzeEpoch(collector.Snapshot())
+			if err != nil {
+				t.Fatalf("step %d: AnalyzeEpoch: %v", step, err)
+			}
+			g, w := marshalReport(t, got), marshalReport(t, want)
+			if !bytes.Equal(g, w) {
+				t.Fatalf("workers=%d step %d: streaming report diverged from full AnalyzeEpoch\nstream: %s\nfull:   %s",
+					workers, step, g, w)
+			}
+		}
+		compare(-1) // baseline: both sessions anchor on the same full state
+
+		rng := rand.New(rand.NewSource(23))
+		switches := f.Topology().Switches()
+		var filters []scout.ObjectID
+		for id := range f.Policy().Filters {
+			filters = append(filters, id)
+		}
+		sort.Slice(filters, func(i, j int) bool { return filters[i] < filters[j] })
+
+		for step := 0; step < 12; step++ {
+			// Random fabric mutation; every op emits events for the
+			// switches it touches.
+			switch rng.Intn(3) {
+			case 0:
+				if _, err := f.EvictTCAM(switches[rng.Intn(len(switches))], 1+rng.Intn(2)); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if _, err := f.CorruptTCAM(switches[rng.Intn(len(switches))], 1, scout.CorruptDstEPG); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if _, err := f.InjectObjectFault(scout.FilterRef(filters[rng.Intn(len(filters))]), 0.3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Stream the new events; apply any size-triggered cuts as they
+			// come (these may leave switches pending past this step).
+			for _, ev := range cursor.Drain() {
+				if queue.Push(ev) {
+					if _, err := streamSess.ApplyEvents(queue.Cut(f.Now())); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if step%4 == 3 {
+				compare(step)
+			}
+		}
+		compare(12)
+
+		st := streamSess.Stats()
+		if st.EventBatches == 0 || st.EventSwitchesAliased == 0 {
+			t.Fatalf("streaming path not engaged: %+v", st)
+		}
+		if st.EventSwitchesRead >= st.EventBatches*len(switches) {
+			t.Fatalf("partial refreshes read every switch: read %d over %d batches of %d switches",
+				st.EventSwitchesRead, st.EventBatches, len(switches))
+		}
+		finals = append(finals, marshalReport(t, mustLastReport(t, streamSess)))
+	}
+	for i := 1; i < len(finals); i++ {
+		if !bytes.Equal(finals[0], finals[i]) {
+			t.Fatal("final streaming reports differ across worker counts")
+		}
+	}
+}
+
+// mustLastReport replays the session's current verdicts as a report (an
+// empty batch reads nothing).
+func mustLastReport(t *testing.T, s *scout.Session) *scout.Report {
+	t.Helper()
+	rep, err := s.ApplyEvents(scout.EventBatch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
