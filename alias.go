@@ -13,6 +13,7 @@ import (
 	"scout/internal/localize"
 	"scout/internal/object"
 	"scout/internal/policy"
+	"scout/internal/probe"
 	"scout/internal/risk"
 	"scout/internal/rule"
 	"scout/internal/scenario"
@@ -151,6 +152,30 @@ const (
 
 // NewFabric creates a deployment fabric for the policy and topology.
 var NewFabric = fabric.New
+
+// Dataplane classification and probing.
+type (
+	// ClassifyPacket is one classification query against a TCAM — the
+	// header tuple Classify takes, reified for batch classification.
+	ClassifyPacket = tcam.Packet
+	// ClassifyOutcome is the result of classifying one packet of a
+	// batch (action + whether any rule matched).
+	ClassifyOutcome = tcam.Outcome
+	// ProbeClassifier is the dataplane surface a probe needs:
+	// first-match classification.
+	ProbeClassifier = probe.Classifier
+	// ProbeBatchClassifier is a ProbeClassifier that resolves a whole
+	// packet batch in one rule-major pass (TCAMs implement it).
+	ProbeBatchClassifier = probe.BatchClassifier
+	// ProbePacket is one synthesized probe header.
+	ProbePacket = probe.Packet
+	// ProbeViolation is one probe outcome contradicting the policy.
+	ProbeViolation = probe.Violation
+	// ProberStats is a snapshot of a prober's packet-memo and
+	// batch-classification counters (Analyzer.ProberStats /
+	// Session.ProberStats).
+	ProberStats = probe.Stats
+)
 
 // Logs.
 type (

@@ -427,6 +427,61 @@ func BenchmarkSessionIncremental(b *testing.B) {
 	})
 }
 
+// BenchmarkSessionProbeWarm measures the probe-mode replay payoff on a
+// clean fabric: the cold path classifies every switch's probe batch
+// each round, the warm path fingerprints the TCAMs and replays every
+// cached verdict without a single Classify call.
+func BenchmarkSessionProbeWarm(b *testing.B) {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(benchScale), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newFabric := func(b *testing.B) *scout.Fabric {
+		f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 42, TCAMCapacity: 1 << 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Deploy(); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	opts := scout.AnalyzerOptions{UseProbes: true}
+
+	b.Run("cold", func(b *testing.B) {
+		f := newFabric(b)
+		a := scout.NewAnalyzer(opts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Analyze(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		f := newFabric(b)
+		sess, err := scout.NewSession(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Analyze(); err != nil {
+			b.Fatal(err) // warm-up: populate the probe cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Analyze(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sess.Stats()
+		if st.Runs > 1 {
+			b.ReportMetric(float64(st.ProbeSwitchesClassified-len(topo.Switches()))/float64(st.Runs-1),
+				"switches-classified/op")
+		}
+	})
+}
+
 // BenchmarkSessionEventStorm measures the payoff of coalescing an event
 // storm: K events over S switches analyzed once per event (a full
 // snapshot + incremental round each) versus drained through the

@@ -11,6 +11,7 @@
 //	scout-bench -experiment sharedbdd -scale 0.5
 //	scout-bench -experiment foldshare -scale 0.25
 //	scout-bench -experiment storm -scale 0.25
+//	scout-bench -experiment probereuse -scale 0.25
 package main
 
 import (
@@ -50,7 +51,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|probereuse|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -246,6 +247,159 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 	}
+
+	if want("probereuse") {
+		fmt.Fprintln(w, "== Probe reuse: batched classification + fingerprint-keyed replay ==")
+		if err := runProbeReuse(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runProbeReuse measures the probe-mode warm path: each session round
+// fingerprints every switch's TCAM, replays the cached verdict for
+// clean switches, and classifies only the dirty ones' probe batches in
+// one rule-major pass. Asserting on counters only (CI runners may be
+// single-core):
+//
+//   - every round partitions the fabric exactly: switches classified +
+//     switches replayed == the switch count, and the prober's batch
+//     passes never exceed the switches classified (one priority-ordered
+//     pass per dirty switch, none for replays);
+//   - a clean warm round classifies zero switches and leaves every
+//     prober counter stationary — no Classify call reaches any TCAM;
+//   - after a fault dirties a subset, only that subset is re-classified
+//     and every round's report stays byte-identical to a cold one-shot
+//     probe analysis of the same fabric state.
+func runProbeReuse(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	numSwitches := topo.NumSwitches()
+	fmt.Fprintf(w, "fabric: %d switches, %d EPG pairs\n\n", numSwitches, pol.Stats().EPGPairs)
+
+	opts := scout.AnalyzerOptions{Workers: cfg.workers, UseProbes: true}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		return err
+	}
+
+	// coldJSON runs a fresh one-shot probe analyzer over the fabric's
+	// current state — the identity reference for every session round.
+	coldJSON := func() ([]byte, time.Duration, error) {
+		rep, err := scout.NewAnalyzer(opts).Analyze(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed := rep.Elapsed
+		rep.Elapsed = 0
+		data, err := json.Marshal(rep)
+		return data, elapsed, err
+	}
+	round := func(label string, wantClassified int) (time.Duration, error) {
+		before := sess.Stats()
+		var pBefore scout.ProberStats
+		if ps, ok := sess.ProberStats(); ok {
+			pBefore = ps
+		}
+		rep, err := sess.Analyze()
+		if err != nil {
+			return 0, err
+		}
+		elapsed := rep.Elapsed
+		after := sess.Stats()
+		pAfter, _ := sess.ProberStats()
+		classified := after.ProbeSwitchesClassified - before.ProbeSwitchesClassified
+		replayed := after.ProbeSwitchesReplayed - before.ProbeSwitchesReplayed
+		passes := pAfter.BatchPasses - pBefore.BatchPasses
+		fmt.Fprintf(w, "%-28s %3d classified + %3d replayed, %3d batch passes, %v\n",
+			label+":", classified, replayed, passes, elapsed.Round(time.Microsecond))
+		if classified+replayed != numSwitches {
+			return 0, fmt.Errorf("%s: classified %d + replayed %d != %d switches (partition violation)",
+				label, classified, replayed, numSwitches)
+		}
+		if classified != wantClassified {
+			return 0, fmt.Errorf("%s: classified %d switches, want %d", label, classified, wantClassified)
+		}
+		if passes > classified {
+			return 0, fmt.Errorf("%s: %d batch passes exceed %d classified switches", label, passes, classified)
+		}
+		if pAfter.FallbackProbes != pBefore.FallbackProbes {
+			return 0, fmt.Errorf("%s: per-packet fallback engaged (%d probes) — TCAMs must batch",
+				label, pAfter.FallbackProbes-pBefore.FallbackProbes)
+		}
+		if wantClassified == 0 && pAfter != pBefore {
+			return 0, fmt.Errorf("%s: prober counters moved on a clean round: %+v -> %+v (a Classify leaked)",
+				label, pBefore, pAfter)
+		}
+		rep.Elapsed = 0
+		got, err := json.Marshal(rep)
+		if err != nil {
+			return 0, err
+		}
+		want, coldElapsed, err := coldJSON()
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(got, want) {
+			return 0, fmt.Errorf("%s: warm probe report differs from cold analysis (identity violation)", label)
+		}
+		return coldElapsed, nil
+	}
+
+	if _, err := round("baseline: full probe round", numSwitches); err != nil {
+		return err
+	}
+	coldElapsed, err := round("clean warm round", 0)
+	if err != nil {
+		return err
+	}
+
+	// Dirty a strict subset: evict the top rule on min(3, N) switches.
+	dirty := minInt(3, numSwitches)
+	for _, sw := range topo.Switches()[:dirty] {
+		s, err := f.Switch(sw)
+		if err != nil {
+			return err
+		}
+		rules, err := f.CollectTCAM(sw)
+		if err != nil {
+			return err
+		}
+		if len(rules) == 0 || !s.TCAM().Remove(rules[0].Key()) {
+			return fmt.Errorf("could not dirty switch %d", sw)
+		}
+	}
+	if _, err := round(fmt.Sprintf("after %d-switch fault", dirty), dirty); err != nil {
+		return err
+	}
+	if _, err := round("warm round over fault", 0); err != nil {
+		return err
+	}
+
+	st := sess.Stats()
+	ps, _ := sess.ProberStats()
+	fmt.Fprintf(w, "\nsession totals: %d runs, %d switches classified, %d replayed, %d packets batched\n",
+		st.Runs, st.ProbeSwitchesClassified, st.ProbeSwitchesReplayed, st.ProbePacketsBatched)
+	fmt.Fprintf(w, "prober: packet memo %d hits / %d misses, %d batch passes (%d packets), %d fallback probes\n",
+		ps.MemoHits, ps.MemoMisses, ps.BatchPasses, ps.BatchedPackets, ps.FallbackProbes)
+	if ps.BatchedPackets != st.ProbePacketsBatched {
+		return fmt.Errorf("session counted %d batched packets, prober %d (accounting drift)",
+			st.ProbePacketsBatched, ps.BatchedPackets)
+	}
+	fmt.Fprintln(w, "every round: classified + replayed == switches, batch passes <= classified: true")
+	fmt.Fprintln(w, "clean warm rounds classified zero switches with stationary prober counters: true")
+	fmt.Fprintf(w, "warm reports byte-identical to cold probe analysis (cold reference %v): true\n",
+		coldElapsed.Round(time.Millisecond))
 	return nil
 }
 

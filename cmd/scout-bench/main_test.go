@@ -142,6 +142,29 @@ func TestRunFoldShareSmoke(t *testing.T) {
 	}
 }
 
+// TestRunProbeReuseSmoke runs the probe-reuse experiment on a tiny
+// workload: the exact classified+replayed partition every round, zero
+// classification on clean warm rounds, batched (never fallback)
+// probing, and the warm-vs-cold report identity contract.
+func TestRunProbeReuseSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "probereuse", scale: 0.05, seed: 3, workers: 2}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"baseline: full probe round:",
+		"clean warm round:",
+		"every round: classified + replayed == switches, batch passes <= classified: true",
+		"clean warm rounds classified zero switches with stationary prober counters: true",
+		"warm reports byte-identical to cold probe analysis",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestRunStormSmoke runs the event-storm experiment on a tiny workload:
 // coalescing bounds on re-check work, read-only-dirty partial
 // collection, the subscribed collector's single partial epoch, and the

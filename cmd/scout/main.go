@@ -65,6 +65,7 @@ func run() error {
 		disconnect  = flag.Int("disconnect", -1, "switch ID to disconnect before analysis")
 		scenPath    = flag.String("scenario", "", "JSON scenario file to replay instead of -fault/-disconnect")
 		workers     = flag.Int("workers", 0, "parallel per-switch equivalence checkers (0 = NumCPU, 1 = serial)")
+		probes      = flag.Bool("probes", false, "observe via active dataplane probes (batched per-switch classification) instead of TCAM collection")
 		watch       = flag.Bool("watch", false, "drive an event-driven session daemon: full baseline, then coalesced per-batch incremental refreshes")
 		batchWindow = flag.Duration("batch-window", 2*time.Second, "watch mode: cut a pending batch after its oldest event waited this long (requires -watch)")
 		queueCap    = flag.Int("queue-cap", 64, "watch mode: distinct switches buffered before a batch is forced, and the max batch size (requires -watch)")
@@ -149,15 +150,15 @@ func run() error {
 	}
 
 	if *watch {
-		report, err := runWatch(f, parsed, watchOptions{
-			analyzer: scout.AnalyzerOptions{Workers: *workers},
+		report, pstats, err := runWatch(f, parsed, watchOptions{
+			analyzer: scout.AnalyzerOptions{Workers: *workers, UseProbes: *probes},
 			window:   *batchWindow,
 			queueCap: *queueCap,
 		}, os.Stdout)
 		if err != nil {
 			return err
 		}
-		return emitReport(report, *jsonOut, *verbose)
+		return emitReport(report, pstats, *jsonOut, *verbose)
 	}
 
 	for _, flt := range parsed {
@@ -168,16 +169,22 @@ func run() error {
 		fmt.Printf("injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
 	}
 
-	report, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers}).Analyze(f)
+	a := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers, UseProbes: *probes})
+	report, err := a.Analyze(f)
 	if err != nil {
 		return err
 	}
-	return emitReport(report, *jsonOut, *verbose)
+	var pstats *scout.ProberStats
+	if ps, ok := a.ProberStats(); ok {
+		pstats = &ps
+	}
+	return emitReport(report, pstats, *jsonOut, *verbose)
 }
 
 // emitReport renders the final analysis report (shared by the one-shot and
-// watch paths).
-func emitReport(report *scout.Report, jsonOut, verbose bool) error {
+// watch paths). pstats, when non-nil, carries the probe-mode prober
+// counters for the verbose dump.
+func emitReport(report *scout.Report, pstats *scout.ProberStats, jsonOut, verbose bool) error {
 	if jsonOut {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -199,6 +206,10 @@ func emitReport(report *scout.Report, jsonOut, verbose bool) error {
 				es.BaseNodes, es.BaseMatches, es.BaseSemantics, es.DeltaNodes, es.Checkers, es.Hits(), es.BaseHits, es.Misses)
 			fmt.Printf("fold sharing: hits %d (%d from base) / misses %d, check dedup %d groups / %d replays\n",
 				es.FoldHits(), es.FoldBaseHits, es.FoldMisses, es.DedupGroups, es.DedupReplays)
+		}
+		if pstats != nil {
+			fmt.Printf("\nprober: packet memo %d hits / %d misses, %d batch passes (%d packets batched), %d fallback probes\n",
+				pstats.MemoHits, pstats.MemoMisses, pstats.BatchPasses, pstats.BatchedPackets, pstats.FallbackProbes)
 		}
 		fmt.Println("\nper-switch details:")
 		for _, sr := range report.Switches {
@@ -251,15 +262,21 @@ type watchOptions struct {
 // tail, a full baseline round anchors the session, then events drain
 // through a bounded coalescing queue and every batch cut — by size, by
 // the deadline window, or by overflow backpressure — triggers one
-// partial collection and incremental re-verification of just the
-// switches the batch names. A shutdown flush cuts whatever is still
-// pending so no switch is stranded below the deadline. It returns the
-// last report produced (the baseline's when no events arrive).
-func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Writer) (*scout.Report, error) {
+// refresh round. In the default TCAM mode a round is one partial
+// collection and incremental re-verification of just the switches the
+// batch names; in probe mode (UseProbes) a round re-probes the live
+// dataplane through Session.Analyze, whose TCAM fingerprints replay
+// clean switches' verdicts and classify only the dirty ones' probe
+// batches. A shutdown flush cuts whatever is still pending so no switch
+// is stranded below the deadline. It returns the last report produced
+// (the baseline's when no events arrive) and, in probe mode, the
+// prober's counter snapshot.
+func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Writer) (*scout.Report, *scout.ProberStats, error) {
 	sess, err := scout.NewSession(f, opts.analyzer)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	probeMode := opts.analyzer.UseProbes
 	// Park the cursor before the baseline collection so no mutation can
 	// slip between the stream position and the collected state.
 	cursor := f.EventLog().TailCursor()
@@ -267,14 +284,31 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 
 	round := func(batch scout.EventBatch, label string) (*scout.Report, error) {
 		before := sess.Stats()
-		report, err := sess.ApplyEvents(batch)
+		var report *scout.Report
+		var err error
+		if probeMode {
+			// Probe rounds ignore the batch's switch list: the session's
+			// fingerprint pass finds the dirty set itself, so the queue
+			// only paces when rounds happen.
+			report, err = sess.Analyze()
+		} else {
+			report, err = sess.ApplyEvents(batch)
+		}
 		if err != nil {
 			return nil, err
 		}
 		after := sess.Stats()
-		fmt.Fprintf(w, "%s: re-checked %d/%d switches (%d replayed), %d missing rules, %v\n",
-			label, after.Checked-before.Checked, len(report.Switches),
-			after.Replayed-before.Replayed, report.TotalMissing, report.Elapsed.Round(time.Microsecond))
+		if probeMode {
+			fmt.Fprintf(w, "%s: classified %d/%d switches (%d replayed, %d packets batched), %d missing rules, %v\n",
+				label, after.ProbeSwitchesClassified-before.ProbeSwitchesClassified, len(report.Switches),
+				after.ProbeSwitchesReplayed-before.ProbeSwitchesReplayed,
+				after.ProbePacketsBatched-before.ProbePacketsBatched,
+				report.TotalMissing, report.Elapsed.Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(w, "%s: re-checked %d/%d switches (%d replayed), %d missing rules, %v\n",
+				label, after.Checked-before.Checked, len(report.Switches),
+				after.Replayed-before.Replayed, report.TotalMissing, report.Elapsed.Round(time.Microsecond))
+		}
 		return report, nil
 	}
 	cut := func() (*scout.Report, error) {
@@ -284,9 +318,13 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 		return round(batch, label)
 	}
 
-	report, err := round(scout.EventBatch{}, "baseline: full collection")
+	baselineLabel := "baseline: full collection"
+	if probeMode {
+		baselineLabel = "baseline: full probe round"
+	}
+	report, err := round(scout.EventBatch{}, baselineLabel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// pump drains new events into the queue and cuts every batch that
@@ -308,17 +346,17 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 	for _, flt := range faults {
 		removed, err := f.InjectObjectFault(flt.ref, flt.fraction)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(w, "injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
 		if err := pump(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Shutdown flush: cut whatever is still below size and deadline.
 	for queue.Len() > 0 {
 		if report, err = cut(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -326,13 +364,24 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 	fmt.Fprintf(w, "event queue: %d pushed, %d coalesced, %d stale, %d overflows; %d batches (max %d switches)\n",
 		qs.Pushed, qs.Coalesced, qs.Stale, qs.Overflows, qs.Batches, qs.MaxBatch)
 	st := sess.Stats()
+	var pstats *scout.ProberStats
+	if probeMode {
+		fmt.Fprintf(w, "probe replay: %d switches classified, %d replayed, %d packets batched\n",
+			st.ProbeSwitchesClassified, st.ProbeSwitchesReplayed, st.ProbePacketsBatched)
+		if ps, ok := sess.ProberStats(); ok {
+			pstats = &ps
+			fmt.Fprintf(w, "prober: packet memo %d hits / %d misses, %d batch passes (%d packets batched), %d fallback probes\n",
+				ps.MemoHits, ps.MemoMisses, ps.BatchPasses, ps.BatchedPackets, ps.FallbackProbes)
+		}
+		return report, pstats, nil
+	}
 	fmt.Fprintf(w, "streaming collection: %d partial refreshes, %d switches re-read, %d aliased\n",
 		st.EventBatches, st.EventSwitchesRead, st.EventSwitchesAliased)
 	fmt.Fprintf(w, "session encodings: base %d nodes (%d rebuilds, %d semantics), delta %d nodes, encode hits %d / misses %d\n",
 		st.BaseNodes, st.BaseRebuilds, st.BaseSemantics, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
 	fmt.Fprintf(w, "session fold sharing: hits %d / misses %d, check dedup %d groups / %d replays\n",
 		st.FoldHits, st.FoldMisses, st.DedupGroups, st.DedupReplays)
-	return report, nil
+	return report, nil, nil
 }
 
 func loadPolicy(path, specName string, seed int64) (*scout.Policy, *scout.Topology, error) {

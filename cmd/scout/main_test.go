@@ -120,13 +120,16 @@ func TestRunWatch(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	report, err := runWatch(f, []objectFault{{ref: scout.EPGRef(epgID), fraction: 1.0}},
+	report, pstats, err := runWatch(f, []objectFault{{ref: scout.EPGRef(epgID), fraction: 1.0}},
 		watchOptions{analyzer: scout.AnalyzerOptions{Workers: 2}, window: 2 * time.Second, queueCap: 64}, &out)
 	if err != nil {
 		t.Fatalf("runWatch: %v\noutput:\n%s", err, out.String())
 	}
 	if report == nil || report.Consistent {
 		t.Fatalf("final watch report must flag the fault; output:\n%s", out.String())
+	}
+	if pstats != nil {
+		t.Error("TCAM-mode watch must not return prober stats")
 	}
 	n := topo.NumSwitches()
 	for _, want := range []string{
@@ -148,6 +151,59 @@ func TestRunWatch(t *testing.T) {
 	if strings.Contains(out.String(), fmt.Sprintf("batch 1: %d switches", n)) ||
 		strings.Contains(out.String(), ", 0 aliased") {
 		t.Errorf("fault batch re-read every switch — partial refresh not engaged:\n%s", out.String())
+	}
+}
+
+// TestRunWatchProbes drives the daemon loop in probe mode: the baseline
+// round probes every switch, and the fault round's fingerprint pass
+// replays clean switches so only the dirtied subset is re-classified.
+func TestRunWatchProbes(t *testing.T) {
+	pol, topo, err := loadPolicy("", "testbed", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	var epgID scout.ObjectID
+	for id := range pol.EPGs {
+		if epgID == 0 || id < epgID {
+			epgID = id
+		}
+	}
+
+	var out bytes.Buffer
+	report, pstats, err := runWatch(f, []objectFault{{ref: scout.EPGRef(epgID), fraction: 1.0}},
+		watchOptions{analyzer: scout.AnalyzerOptions{Workers: 2, UseProbes: true}, window: 2 * time.Second, queueCap: 64}, &out)
+	if err != nil {
+		t.Fatalf("runWatch: %v\noutput:\n%s", err, out.String())
+	}
+	if report == nil || report.Consistent {
+		t.Fatalf("final probe-watch report must flag the fault; output:\n%s", out.String())
+	}
+	if pstats == nil || pstats.BatchPasses == 0 {
+		t.Fatalf("probe-mode watch must return live prober stats, got %+v", pstats)
+	}
+	n := topo.NumSwitches()
+	for _, want := range []string{
+		fmt.Sprintf("baseline: full probe round: classified %d/%d switches (0 replayed", n, n),
+		"injected epg:",
+		"batch 1: ",
+		"probe replay: ",
+		"prober: packet memo ",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The fault batch must replay at least one clean switch — the EPG
+	// fault only dirties a subset of the testbed.
+	if strings.Contains(out.String(), fmt.Sprintf("batch 1: classified %d/%d switches (0 replayed", n, n)) {
+		t.Errorf("fault round re-classified every switch — fingerprint replay not engaged:\n%s", out.String())
 	}
 }
 

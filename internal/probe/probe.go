@@ -71,6 +71,18 @@ type Classifier interface {
 
 var _ Classifier = (*tcam.TCAM)(nil)
 
+// BatchClassifier is a Classifier that can resolve a whole packet batch
+// in one rule-major pass over its table. The prober feeds it per-switch
+// batches so an n-entry TCAM is scanned once per probe round instead of
+// once per probe; any plain Classifier still works via the per-packet
+// fallback in classifyBatch. *tcam.TCAM implements it.
+type BatchClassifier interface {
+	Classifier
+	ClassifyBatch(pkts []tcam.Packet) []tcam.Outcome
+}
+
+var _ BatchClassifier = (*tcam.TCAM)(nil)
+
 // Prober synthesizes and evaluates probes for a compiled deployment.
 // Probe packets are memoized per rule key — i.e. per (VRF, EPG pair,
 // filter entry) — so switches sharing EPG pairs reuse each other's
@@ -91,6 +103,28 @@ type Prober struct {
 	// shared read lock instead of serializing the worker fan-out.
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Batch-path counters: passes counts rule-major batch
+	// classifications issued, batched counts the packets those passes
+	// resolved, and fallback counts packets classified one at a time
+	// because the dataplane was not a BatchClassifier.
+	batchPasses    atomic.Int64
+	batchedPackets atomic.Int64
+	fallbackProbes atomic.Int64
+}
+
+// Stats is a snapshot of a Prober's cumulative counters: the packet-memo
+// hit/miss counts (cross-switch and cross-run synthesis sharing) and the
+// batch-classification counters.
+type Stats struct {
+	MemoHits   int
+	MemoMisses int
+	// BatchPasses is the number of rule-major batch passes issued;
+	// BatchedPackets the probes they resolved. FallbackProbes counts
+	// probes classified per-packet against non-batching dataplanes.
+	BatchPasses    int
+	BatchedPackets int
+	FallbackProbes int
 }
 
 // New creates a prober over the deployment.
@@ -142,6 +176,17 @@ func (p *Prober) MemoStats() (hits, misses int) {
 	return int(p.hits.Load()), int(p.misses.Load())
 }
 
+// Stats returns a snapshot of every prober counter.
+func (p *Prober) Stats() Stats {
+	return Stats{
+		MemoHits:       int(p.hits.Load()),
+		MemoMisses:     int(p.misses.Load()),
+		BatchPasses:    int(p.batchPasses.Load()),
+		BatchedPackets: int(p.batchedPackets.Load()),
+		FallbackProbes: int(p.fallbackProbes.Load()),
+	}
+}
+
 // probeEligible reports whether r contributes a probe: concrete EPG
 // pairs only, allow rules only (the paper's "allowed to communicate but
 // fail to do so" observation).
@@ -149,15 +194,15 @@ func probeEligible(r rule.Rule) bool {
 	return r.Action == rule.Allow && !r.Match.WildcardSrc && !r.Match.WildcardDst
 }
 
-// evalProbe classifies one probe packet against a switch's dataplane and
-// reports whether the outcome contradicts the rule it was derived from
-// (ok=true). An unmatched probe reports Got == 0.
-func evalProbe(sw object.ID, r rule.Rule, pkt Packet, dataplane Classifier) (Violation, bool) {
-	got, matched := dataplane.Classify(pkt.VRF, pkt.SrcEPG, pkt.DstEPG, pkt.Proto, pkt.Port)
-	if matched && got == r.Action {
+// violationFrom converts one classification outcome into a Violation,
+// reporting ok=true when the outcome contradicts the rule the probe was
+// derived from. An unmatched probe reports Got == 0.
+func violationFrom(sw object.ID, r rule.Rule, pkt Packet, o tcam.Outcome) (Violation, bool) {
+	if o.Matched && o.Action == r.Action {
 		return Violation{}, false
 	}
-	if !matched {
+	got := o.Action
+	if !o.Matched {
 		got = 0
 	}
 	return Violation{
@@ -170,20 +215,66 @@ func evalProbe(sw object.ID, r rule.Rule, pkt Packet, dataplane Classifier) (Vio
 	}, true
 }
 
-// ProbeSwitch probes every (pair, rule) deployed on switch sw against
-// the given classifier and returns the violations in deterministic
-// order. Each allow rule contributes one probe at its low port (the
-// paper's per-rule missing/present granularity).
-func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
-	var out []Violation
-	for _, r := range p.d.Load().RulesFor(sw) {
-		if !probeEligible(r) {
-			continue
+// classifyBatch resolves the probe packets against a dataplane: one
+// rule-major pass when the dataplane batches, per-packet Classify calls
+// otherwise. Outcomes are positional, and identical between the two
+// paths. The second return reports whether the batch path was taken.
+func classifyBatch(dataplane Classifier, pkts []Packet) ([]tcam.Outcome, bool) {
+	if bc, ok := dataplane.(BatchClassifier); ok {
+		batch := make([]tcam.Packet, len(pkts))
+		for i, p := range pkts {
+			batch[i] = tcam.Packet{VRF: p.VRF, Src: p.SrcEPG, Dst: p.DstEPG, Proto: p.Proto, Port: p.Port}
 		}
-		if v, ok := evalProbe(sw, r, p.packetFor(r), dataplane); ok {
+		return bc.ClassifyBatch(batch), true
+	}
+	out := make([]tcam.Outcome, len(pkts))
+	for i, p := range pkts {
+		action, matched := dataplane.Classify(p.VRF, p.SrcEPG, p.DstEPG, p.Proto, p.Port)
+		out[i] = tcam.Outcome{Action: action, Matched: matched}
+	}
+	return out, false
+}
+
+// probeSwitch synthesizes switch sw's probe batch, classifies it, and
+// appends the violations to out (unsorted) — the shared body of
+// ProbeSwitch and ProbeAll.
+func (p *Prober) probeSwitch(sw object.ID, dataplane Classifier, out []Violation) []Violation {
+	var eligible []rule.Rule
+	for _, r := range p.d.Load().RulesFor(sw) {
+		if probeEligible(r) {
+			eligible = append(eligible, r)
+		}
+	}
+	if len(eligible) == 0 {
+		return out
+	}
+	pkts := make([]Packet, len(eligible))
+	for i, r := range eligible {
+		pkts[i] = p.packetFor(r)
+	}
+	outcomes, batched := classifyBatch(dataplane, pkts)
+	if batched {
+		p.batchPasses.Add(1)
+		p.batchedPackets.Add(int64(len(pkts)))
+	} else {
+		p.fallbackProbes.Add(int64(len(pkts)))
+	}
+	for i, r := range eligible {
+		if v, ok := violationFrom(sw, r, pkts[i], outcomes[i]); ok {
 			out = append(out, v)
 		}
 	}
+	return out
+}
+
+// ProbeSwitch probes every (pair, rule) deployed on switch sw against
+// the given classifier and returns the violations in deterministic
+// order. Each allow rule contributes one probe at its low port (the
+// paper's per-rule missing/present granularity). The switch's probes go
+// to the dataplane as one batch, so a batching dataplane (a TCAM) is
+// scanned once rather than once per probe.
+func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
+	out := p.probeSwitch(sw, dataplane, nil)
 	sort.Slice(out, func(i, j int) bool { return violationLess(out[i], out[j]) })
 	return out
 }
@@ -192,18 +283,18 @@ func (p *Prober) ProbeSwitch(sw object.ID, dataplane Classifier) []Violation {
 // IDs to their classification surface (e.g. collected from
 // fabric.Fabric via Switch(sw).TCAM()).
 //
-// The iteration is packet-outer, switch-inner: each distinct probe
-// packet is synthesized once and then classified against every dataplane
-// deploying a rule with its key in one batched pass, instead of looping
-// switches and re-resolving the shared packets per switch. The violation
-// order is identical to the per-switch form — violationLess leads with
-// the switch ID, so one global sort reproduces the concatenation of
-// per-switch sorted outputs.
+// Switches are visited in ascending ID order and each switch's probes
+// are classified as one batch. Packet synthesis still shares across
+// switches through the memo — repeated keys hit instead of
+// re-synthesizing, so MemoStats keeps measuring cross-switch sharing.
+// The violation order is identical to the per-switch form: violationLess
+// leads with the switch ID, so one global sort reproduces the
+// concatenation of per-switch sorted outputs.
 //
 // ProbeAll is the serial batch entry point (library users probing
 // collected dataplanes in one call); the analyzer's probe pipeline
-// instead fans ProbeSwitch out per switch over its worker pool, trading
-// the batched pass for parallelism while sharing the same packet memo.
+// instead fans ProbeSwitch out per switch over its worker pool, sharing
+// the same packet memo and per-switch batch passes.
 func (p *Prober) ProbeAll(dataplanes map[object.ID]Classifier) []Violation {
 	d := p.d.Load()
 	var switches []object.ID
@@ -212,43 +303,13 @@ func (p *Prober) ProbeAll(dataplanes map[object.ID]Classifier) []Violation {
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
 
-	// Gather the probe sites per rule key, keeping first-seen key order
-	// (deterministic: switches ascending, rules in list order).
-	type site struct {
-		sw object.ID
-		r  rule.Rule
-	}
-	var order []rule.Key
-	sites := make(map[rule.Key][]site)
+	var out []Violation
 	for _, sw := range switches {
-		if _, ok := dataplanes[sw]; !ok {
+		dataplane, ok := dataplanes[sw]
+		if !ok {
 			continue
 		}
-		for _, r := range d.RulesFor(sw) {
-			if !probeEligible(r) {
-				continue
-			}
-			k := r.Key()
-			if _, seen := sites[k]; !seen {
-				order = append(order, k)
-			}
-			sites[k] = append(sites[k], site{sw: sw, r: r})
-		}
-	}
-
-	var out []Violation
-	for _, k := range order {
-		ss := sites[k]
-		pkt := p.packetFor(ss[0].r)
-		// The remaining sites reuse the packet without re-consulting the
-		// memo; account them as hits so MemoStats keeps measuring
-		// cross-switch synthesis sharing.
-		p.hits.Add(int64(len(ss) - 1))
-		for _, s := range ss {
-			if v, ok := evalProbe(s.sw, s.r, pkt, dataplanes[s.sw]); ok {
-				out = append(out, v)
-			}
-		}
+		out = p.probeSwitch(sw, dataplane, out)
 	}
 	sort.Slice(out, func(i, j int) bool { return violationLess(out[i], out[j]) })
 	return out

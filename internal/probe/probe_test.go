@@ -56,6 +56,70 @@ func dataplanes(t testing.TB, f *fabric.Fabric) map[object.ID]Classifier {
 	return out
 }
 
+// perPacketOnly strips the batch surface off a Classifier, forcing the
+// prober down the per-packet fallback path.
+type perPacketOnly struct{ c Classifier }
+
+func (p perPacketOnly) Classify(vrf, src, dst object.ID, proto rule.Protocol, port uint16) (rule.Action, bool) {
+	return p.c.Classify(vrf, src, dst, proto, port)
+}
+
+// TestBatchAndFallbackIdentical pins the BatchClassifier contract: a
+// dataplane that only classifies per packet yields byte-for-byte the
+// same violations as the batched pass over the same TCAM — only the
+// counters differ (batch passes vs fallback probes).
+func TestBatchAndFallbackIdentical(t *testing.T) {
+	f := threeTierFabric(t)
+	d := f.Deployment()
+	// Break a switch so violations exist on both paths.
+	s, err := f.Switch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := s.TCAM().Rules()
+	if len(rules) == 0 || !s.TCAM().Remove(rules[0].Key()) {
+		t.Fatal("failed to break switch 2")
+	}
+
+	batched := New(d)
+	fallback := New(d)
+	dps := dataplanes(t, f)
+	wrapped := make(map[object.ID]Classifier, len(dps))
+	for sw, c := range dps {
+		wrapped[sw] = perPacketOnly{c: c}
+	}
+
+	a := batched.ProbeAll(dps)
+	b := fallback.ProbeAll(wrapped)
+	if len(a) != len(b) {
+		t.Fatalf("batch found %d violations, fallback %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() || !a[i].Rule.Equal(b[i].Rule) {
+			t.Errorf("violation %d differs: batch %v, fallback %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("expected violations after breaking switch 2")
+	}
+
+	bs := batched.Stats()
+	if bs.BatchPasses == 0 || bs.BatchedPackets == 0 || bs.FallbackProbes != 0 {
+		t.Errorf("batched prober counters = %+v, want batch passes only", bs)
+	}
+	fs := fallback.Stats()
+	if fs.FallbackProbes == 0 || fs.BatchPasses != 0 || fs.BatchedPackets != 0 {
+		t.Errorf("fallback prober counters = %+v, want fallback probes only", fs)
+	}
+	if bs.BatchedPackets != fs.FallbackProbes {
+		t.Errorf("batch resolved %d packets, fallback %d — same probes must flow",
+			bs.BatchedPackets, fs.FallbackProbes)
+	}
+	if bs.MemoHits != fs.MemoHits || bs.MemoMisses != fs.MemoMisses {
+		t.Errorf("memo accounting differs: batch %+v, fallback %+v", bs, fs)
+	}
+}
+
 func TestProbeCleanFabricNoViolations(t *testing.T) {
 	f := threeTierFabric(t)
 	p := New(f.Deployment())

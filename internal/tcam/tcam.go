@@ -30,8 +30,13 @@ type TCAM struct {
 	mu       sync.RWMutex
 	capacity int
 	rules    []rule.Rule // kept sorted: priority desc, then insertion order
-	inserted int         // monotonically increasing insertion stamp
-	stamps   []int       // parallel to rules
+	// index maps each installed key to its first occurrence in match
+	// order, making Install's duplicate check and Remove's lookup O(1)
+	// (deploys used to be O(n²) per switch from the linear scans).
+	// Corruption can alias two entries onto one key; the index then
+	// tracks the earlier (higher-precedence) occurrence, matching what
+	// the old linear scans returned.
+	index map[rule.Key]int
 }
 
 // New creates a TCAM with the given capacity. Capacity <= 0 selects
@@ -40,7 +45,7 @@ func New(capacity int) *TCAM {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &TCAM{capacity: capacity}
+	return &TCAM{capacity: capacity, index: make(map[rule.Key]int)}
 }
 
 // Capacity returns the table capacity in entries.
@@ -65,33 +70,44 @@ func (t *TCAM) Utilization() float64 {
 func (t *TCAM) Install(r rule.Rule) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, existing := range t.rules {
-		if existing.Key() == r.Key() {
-			return nil
-		}
+	k := r.Key()
+	if _, ok := t.index[k]; ok {
+		return nil
 	}
 	if len(t.rules) >= t.capacity {
 		return fmt.Errorf("install %s: %w", r, ErrFull)
 	}
-	t.inserted++
-	t.rules = append(t.rules, r.Clone())
-	t.stamps = append(t.stamps, t.inserted)
-	t.sortLocked()
+	// Match order is priority descending with programming order inside a
+	// band, and a fresh install is the youngest entry of its band — so
+	// its slot is the first index of strictly lower priority. Deploys
+	// install in sorted order, which makes this an append.
+	pos := sort.Search(len(t.rules), func(i int) bool {
+		return t.rules[i].Priority < r.Priority
+	})
+	t.rules = append(t.rules, rule.Rule{})
+	copy(t.rules[pos+1:], t.rules[pos:])
+	t.rules[pos] = r.Clone()
+	for j := len(t.rules) - 1; j > pos; j-- {
+		kj := t.rules[j].Key()
+		if p, ok := t.index[kj]; ok && p == j-1 {
+			t.index[kj] = j
+		}
+	}
+	t.index[k] = pos
 	return nil
 }
 
-// Remove deletes the entry with the given key. It reports whether an entry
-// was removed.
+// Remove deletes the first entry with the given key in match order. It
+// reports whether an entry was removed.
 func (t *TCAM) Remove(k rule.Key) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i, r := range t.rules {
-		if r.Key() == k {
-			t.deleteAtLocked(i)
-			return true
-		}
+	i, ok := t.index[k]
+	if !ok {
+		return false
 	}
-	return false
+	t.deleteAtLocked(i)
+	return true
 }
 
 // Clear removes every entry.
@@ -99,7 +115,7 @@ func (t *TCAM) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rules = nil
-	t.stamps = nil
+	t.index = make(map[rule.Key]int)
 }
 
 // Rules returns a snapshot of the installed rules in match order.
@@ -131,6 +147,61 @@ func (t *TCAM) Classify(vrf, src, dst object.ID, proto rule.Protocol, port uint1
 		}
 	}
 	return 0, false
+}
+
+// Packet is one classification query — the header tuple Classify takes,
+// reified so callers can assemble batches up front.
+type Packet struct {
+	VRF   object.ID
+	Src   object.ID
+	Dst   object.ID
+	Proto rule.Protocol
+	Port  uint16
+}
+
+// Outcome is the result of classifying one packet of a batch. Matched
+// mirrors Classify's second return; Action is meaningful only when
+// Matched is true.
+type Outcome struct {
+	Action  rule.Action
+	Matched bool
+}
+
+// ClassifyBatch resolves every packet of the batch in one priority-ordered
+// pass over the rule table: rules on the outer loop, the still-unresolved
+// packet set on the inner, so an n-entry table is scanned once per batch
+// instead of once per packet and the read lock is taken once. The i-th
+// outcome is exactly what Classify would return for the i-th packet.
+func (t *TCAM) ClassifyBatch(pkts []Packet) []Outcome {
+	out := make([]Outcome, len(pkts))
+	if len(pkts) == 0 {
+		return out
+	}
+	// unresolved holds the indices of packets no rule has claimed yet,
+	// compacted in place (order-preserving) as rules resolve them.
+	unresolved := make([]int, len(pkts))
+	for i := range unresolved {
+		unresolved[i] = i
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for ri := range t.rules {
+		r := &t.rules[ri]
+		live := unresolved[:0]
+		for _, i := range unresolved {
+			p := pkts[i]
+			if r.Match.Covers(p.VRF, p.Src, p.Dst, p.Proto, p.Port) {
+				out[i] = Outcome{Action: r.Action, Matched: true}
+			} else {
+				live = append(live, i)
+			}
+		}
+		unresolved = live
+		if len(unresolved) == 0 {
+			break
+		}
+	}
+	return out
 }
 
 // EvictRandom removes up to n random entries (a local eviction mechanism
@@ -173,7 +244,8 @@ func (t *TCAM) Corrupt(n int, field CorruptionField, rng *rand.Rand) []rule.Key 
 		if r.IsDefaultDeny() {
 			continue
 		}
-		damaged = append(damaged, r.Key())
+		oldKey := r.Key()
+		damaged = append(damaged, oldKey)
 		bit := uint32(1) << uint(rng.Intn(16))
 		switch field {
 		case CorruptVRF:
@@ -188,36 +260,55 @@ func (t *TCAM) Corrupt(n int, field CorruptionField, rng *rand.Rand) []rule.Key 
 				r.Match.PortLo, r.Match.PortHi = r.Match.PortHi, r.Match.PortLo
 			}
 		}
+		t.rekeyLocked(idx, oldKey, r.Key())
 	}
 	return damaged
 }
 
-func (t *TCAM) deleteAtLocked(i int) {
-	t.rules = append(t.rules[:i], t.rules[i+1:]...)
-	t.stamps = append(t.stamps[:i], t.stamps[i+1:]...)
+// rekeyLocked repairs the key index after the entry at idx changed its
+// key in place (corruption). Corruption is rare, so the occasional O(n)
+// rescan for a surviving duplicate is fine.
+func (t *TCAM) rekeyLocked(idx int, oldKey, newKey rule.Key) {
+	if oldKey == newKey {
+		return
+	}
+	if p, ok := t.index[oldKey]; ok && p == idx {
+		delete(t.index, oldKey)
+		for j := range t.rules {
+			if j != idx && t.rules[j].Key() == oldKey {
+				t.index[oldKey] = j
+				break
+			}
+		}
+	}
+	// The corrupted entry may now alias another entry's key; the index
+	// keeps whichever occurs first in match order.
+	if p, ok := t.index[newKey]; !ok || p > idx {
+		t.index[newKey] = idx
+	}
 }
 
-// sortLocked restores match order: priority descending, then insertion
-// order (older entries first), matching hardware behaviour where entry
-// position within a priority band follows programming order.
-func (t *TCAM) sortLocked() {
-	idx := make([]int, len(t.rules))
-	for i := range idx {
-		idx[i] = i
+func (t *TCAM) deleteAtLocked(i int) {
+	k := t.rules[i].Key()
+	first := t.index[k] == i
+	if first {
+		delete(t.index, k)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ra, rb := t.rules[idx[a]], t.rules[idx[b]]
-		if ra.Priority != rb.Priority {
-			return ra.Priority > rb.Priority
+	t.rules = append(t.rules[:i], t.rules[i+1:]...)
+	for j := i; j < len(t.rules); j++ {
+		kj := t.rules[j].Key()
+		if p, ok := t.index[kj]; ok && p == j+1 {
+			t.index[kj] = j
 		}
-		return t.stamps[idx[a]] < t.stamps[idx[b]]
-	})
-	newRules := make([]rule.Rule, len(t.rules))
-	newStamps := make([]int, len(t.stamps))
-	for i, j := range idx {
-		newRules[i] = t.rules[j]
-		newStamps[i] = t.stamps[j]
 	}
-	t.rules = newRules
-	t.stamps = newStamps
+	if first && len(t.index) < len(t.rules) {
+		// A corruption-aliased duplicate of k may survive past i;
+		// promote the next occurrence to first.
+		for j := i; j < len(t.rules); j++ {
+			if t.rules[j].Key() == k {
+				t.index[k] = j
+				break
+			}
+		}
+	}
 }

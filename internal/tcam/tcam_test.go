@@ -2,6 +2,7 @@ package tcam
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -173,6 +174,124 @@ func TestClassifyMatchesLinearOracle(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestClassifyBatchMatchesClassify is the batch-path property test:
+// over randomized tables (priority ties included) and packet batches
+// (no-match packets included), ClassifyBatch must agree with per-packet
+// Classify outcome-for-outcome.
+func TestClassifyBatchMatchesClassify(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tc := New(128)
+		nRules := rng.Intn(60)
+		for i := 0; i < nRules; i++ {
+			r := mkRule(
+				object.ID(rng.Intn(3)), object.ID(rng.Intn(4)), object.ID(rng.Intn(4)),
+				uint16(rng.Intn(64)), rng.Intn(3)*10) // few bands => priority ties
+			r.Match.PortHi = r.Match.PortLo + uint16(rng.Intn(16))
+			if rng.Intn(2) == 0 {
+				r.Action = rule.Deny
+			}
+			_ = tc.Install(r)
+		}
+		pkts := make([]Packet, rng.Intn(40))
+		for i := range pkts {
+			pkts[i] = Packet{
+				VRF: object.ID(rng.Intn(4)), Src: object.ID(rng.Intn(5)), Dst: object.ID(rng.Intn(5)),
+				Proto: rule.ProtoTCP, Port: uint16(rng.Intn(96)), // over-wide ranges => no-match packets
+			}
+		}
+		got := tc.ClassifyBatch(pkts)
+		if len(got) != len(pkts) {
+			return false
+		}
+		for i, p := range pkts {
+			action, matched := tc.Classify(p.VRF, p.Src, p.Dst, p.Proto, p.Port)
+			if got[i].Matched != matched || (matched && got[i].Action != action) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	tc := populatedT(t, 4)
+	if out := tc.ClassifyBatch(nil); len(out) != 0 {
+		t.Errorf("empty batch returned %d outcomes", len(out))
+	}
+}
+
+func populatedT(t *testing.T, n int) *TCAM {
+	t.Helper()
+	tc := New(n)
+	for p := uint16(0); p < uint16(n); p++ {
+		if err := tc.Install(mkRule(1, 2, 3, p, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tc
+}
+
+// TestIndexConsistentUnderChurn hammers the key index with the full
+// mutation surface — install, remove, evict, corrupt (which can alias
+// keys) — and after every step checks the index invariants against a
+// linear oracle: every key resolves to its first occurrence in match
+// order, Remove removes exactly the first occurrence, and the table
+// stays sorted priority-descending.
+func TestIndexConsistentUnderChurn(t *testing.T) {
+	check := func(tc *TCAM) error {
+		tc.mu.RLock()
+		defer tc.mu.RUnlock()
+		firsts := make(map[rule.Key]int)
+		for i, r := range tc.rules {
+			if i > 0 && tc.rules[i-1].Priority < r.Priority {
+				return fmt.Errorf("rules out of priority order at %d", i)
+			}
+			k := r.Key()
+			if _, seen := firsts[k]; !seen {
+				firsts[k] = i
+			}
+		}
+		if len(firsts) != len(tc.index) {
+			return fmt.Errorf("index has %d entries, want %d", len(tc.index), len(firsts))
+		}
+		for k, want := range firsts {
+			if got, ok := tc.index[k]; !ok || got != want {
+				return fmt.Errorf("index[%v] = %d, want first occurrence %d", k, got, want)
+			}
+		}
+		return nil
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tc := New(64)
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				r := mkRule(
+					object.ID(rng.Intn(3)), object.ID(rng.Intn(3)), object.ID(rng.Intn(3)),
+					uint16(rng.Intn(16)), rng.Intn(3)*10)
+				_ = tc.Install(r)
+			case 2:
+				rules := tc.Rules()
+				if len(rules) > 0 {
+					tc.Remove(rules[rng.Intn(len(rules))].Key())
+				}
+			case 3:
+				tc.EvictRandom(1+rng.Intn(2), rng)
+			case 4:
+				tc.Corrupt(1+rng.Intn(2), CorruptionField(1+rng.Intn(4)), rng)
+			}
+			if err := check(tc); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
 	}
 }
 

@@ -294,6 +294,19 @@ func (a *Analyzer) proberFor(d *Deployment) *probe.Prober {
 	return a.prober
 }
 
+// ProberStats returns a snapshot of the cached prober's counters — the
+// packet-memo hit/miss counts and the batch-classification counters —
+// and whether a prober exists yet (probe-mode analyses create it on
+// first use).
+func (a *Analyzer) ProberStats() (probe.Stats, bool) {
+	a.proberMu.Lock()
+	defer a.proberMu.Unlock()
+	if a.prober == nil {
+		return probe.Stats{}, false
+	}
+	return a.prober.Stats(), true
+}
+
 // withDefaultLogs returns a copy of the state with nil logs replaced by
 // empty ones, so the pipeline never branches on their presence.
 func (st State) withDefaultLogs() State {

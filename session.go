@@ -10,6 +10,7 @@ import (
 	"scout/internal/equiv"
 	"scout/internal/fabric"
 	"scout/internal/object"
+	"scout/internal/probe"
 	"scout/internal/risk"
 	"scout/internal/rule"
 )
@@ -70,6 +71,12 @@ type Session struct {
 
 	// cache holds the newest check outcome per switch.
 	cache map[object.ID]*switchCheckState
+
+	// probeCache holds the newest probe-round outcome per switch
+	// (probe-mode sessions only). Entries reuse switchCheckState: the
+	// report is a pure function of the switch's logical rules and live
+	// TCAM content, so the same fingerprint pair keys a valid replay.
+	probeCache map[object.ID]*switchCheckState
 
 	// lastDeployment keys the pristine controller-model cache: compiled
 	// deployments are immutable, so pointer identity means the model (and
@@ -145,6 +152,16 @@ type SessionStats struct {
 	// their group's single check.
 	DedupGroups  int
 	DedupReplays int
+	// Probe-mode counters (zero in TCAM-observation sessions).
+	// ProbeSwitchesReplayed counts switches whose cached probe verdict
+	// replayed because their TCAM fingerprint was unchanged — zero
+	// Classify calls; ProbeSwitchesClassified counts switches whose
+	// probes were actually classified. ProbePacketsBatched accumulates
+	// probe packets resolved through rule-major batch passes over
+	// switch TCAMs (see probe.Stats.BatchedPackets).
+	ProbeSwitchesReplayed   int
+	ProbeSwitchesClassified int
+	ProbePacketsBatched     int
 	// EventBatches counts ApplyEvents runs that refreshed against a
 	// prior epoch (partial collections); EventSwitchesRead the switches
 	// those runs re-read from the fabric, EventSwitchesAliased the
@@ -157,30 +174,36 @@ type SessionStats struct {
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
-// options are the Analyzer's; UseProbes is rejected because probe
-// observations sample the live dataplane and leave no rule state to
-// fingerprint or replay.
+// options are the Analyzer's. With UseProbes the session runs the probe
+// observation source incrementally: each round fingerprints every
+// switch's live TCAM, replays the cached probe verdict for switches
+// whose fingerprint is unchanged (zero Classify calls), and classifies
+// only the dirty ones' probe batches. Probe-mode sessions are driven by
+// Analyze only — the epoch/event/raw-state entry points consume
+// collected TCAM snapshots, which probe mode by definition does not use.
 func NewSession(f *fabric.Fabric, opts ...AnalyzerOptions) (*Session, error) {
-	a := NewAnalyzer(opts...)
-	if a.opts.UseProbes {
-		return nil, fmt.Errorf("scout: sessions require TCAM observations; use Analyzer for probe mode")
-	}
 	return &Session{
-		a:     a,
-		f:     f,
-		cache: make(map[object.ID]*switchCheckState),
+		a:          NewAnalyzer(opts...),
+		f:          f,
+		cache:      make(map[object.ID]*switchCheckState),
+		probeCache: make(map[object.ID]*switchCheckState),
 	}, nil
 }
 
 // Analyze collects the fabric's current state and analyzes it,
 // re-checking only switches whose logical or TCAM rules changed since the
-// session's previous run.
+// session's previous run. In probe mode the same replay applies to probe
+// classification: clean switches replay their cached verdicts and only
+// dirty switches' probe batches touch a dataplane.
 func (s *Session) Analyze() (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := s.f.Deployment()
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
+	}
+	if s.a.opts.UseProbes {
+		return s.analyzeProbesLocked(d)
 	}
 	return s.analyzeLocked(State{
 		Deployment: d,
@@ -191,6 +214,100 @@ func (s *Session) Analyze() (*Report, error) {
 	}, nil)
 }
 
+// errProbeSession guards the TCAM-snapshot entry points in probe mode.
+func (s *Session) errProbeSession(entry string) error {
+	return fmt.Errorf("scout: %s consumes collected TCAM snapshots; probe-mode sessions are driven by Analyze", entry)
+}
+
+// analyzeProbesLocked is the probe-mode incremental round: fingerprint
+// every switch's live TCAM (O(rules) hashing, fanned over the worker
+// pool), replay cached verdicts for fingerprint-clean switches, and
+// classify only the dirty switches' probe batches (O(rules × probes)
+// work that the replay path skips entirely). The report is byte-identical
+// to a cold Analyzer probe run at any worker count: replayed reports are
+// pure functions of the switch's logical rules and TCAM content, and the
+// fold stages are unchanged.
+func (s *Session) analyzeProbesLocked(d *compile.Deployment) (*Report, error) {
+	start := time.Now()
+	ctrlModel := s.controllerModelLocked(d)
+	prober := s.a.proberFor(d)
+	before := prober.Stats()
+	switches := sortSwitches(s.f.Topology().Switches())
+
+	// Fingerprint pass: hash every switch's live TCAM rules in parallel.
+	tcamFPs := make([]uint64, len(switches))
+	collectErrs := make([]error, len(switches))
+	s.a.forEach(len(switches), func(i int) {
+		rules, err := s.f.CollectTCAM(switches[i])
+		if err != nil {
+			collectErrs[i] = fmt.Errorf("scout: probe fingerprint switch %d: %w", switches[i], err)
+			return
+		}
+		tcamFPs[i] = equiv.Fingerprint(rules)
+	})
+	for _, err := range collectErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition into replays and probe rounds, mirroring the equivalence
+	// path's fingerprint partition.
+	checkReps := make([]*equiv.Report, len(switches))
+	logFPs := make([]uint64, len(switches))
+	var dirty []object.ID
+	var dirtyIdx []int
+	for i, sw := range switches {
+		ent := s.probeCache[sw]
+		if ent != nil && ent.dep == d {
+			logFPs[i] = ent.logicalFP
+		} else {
+			logFPs[i] = equiv.Fingerprint(d.RulesFor(sw))
+		}
+		if ent == nil || logFPs[i] != ent.logicalFP || tcamFPs[i] != ent.tcamFP {
+			dirty = append(dirty, sw)
+			dirtyIdx = append(dirtyIdx, i)
+			continue
+		}
+		ent.dep = d // refresh identity for the next run's shortcut
+		checkReps[i] = ent.report
+	}
+
+	if len(dirty) > 0 {
+		check := func(_ *equiv.Checker, sw object.ID) (*equiv.Report, error) {
+			return s.a.checkSwitch(s.f, d, nil, prober, sw)
+		}
+		fresh, err := s.a.checkAllWith(dirty, func(int) *equiv.Checker { return nil }, check)
+		if err != nil {
+			return nil, err
+		}
+		capRules := s.missingRuleCap()
+		for j, i := range dirtyIdx {
+			checkReps[i] = fresh[j]
+			if capRules > 0 && len(fresh[j].MissingRules) > capRules {
+				delete(s.probeCache, switches[i])
+				s.stats.OverCap++
+				continue
+			}
+			s.probeCache[switches[i]] = &switchCheckState{
+				dep:       d,
+				logicalFP: logFPs[i],
+				tcamFP:    tcamFPs[i],
+				report:    fresh[j],
+			}
+		}
+	}
+
+	rep := s.a.assemble(ctrlModel, d, s.f.ChangeLog(), s.f.FaultLog(), s.f.Now(), switches, checkReps)
+	rep.Elapsed = time.Since(start)
+	after := prober.Stats()
+	s.stats.Runs++
+	s.stats.ProbeSwitchesClassified += len(dirty)
+	s.stats.ProbeSwitchesReplayed += len(switches) - len(dirty)
+	s.stats.ProbePacketsBatched += after.BatchedPackets - before.BatchedPackets
+	return rep, nil
+}
+
 // AnalyzeEpoch analyzes one collector epoch against the fabric's current
 // deployment, anchored at the epoch's collection time — the delta
 // re-verification path for periodic collection. When the session's
@@ -199,6 +316,9 @@ func (s *Session) Analyze() (*Report, error) {
 func (s *Session) AnalyzeEpoch(e *Epoch) (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.a.opts.UseProbes {
+		return nil, s.errProbeSession("AnalyzeEpoch")
+	}
 	d := s.f.Deployment()
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
@@ -249,6 +369,9 @@ func (s *Session) AnalyzeEpoch(e *Epoch) (*Report, error) {
 func (s *Session) ApplyEvents(batch EventBatch) (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.a.opts.UseProbes {
+		return nil, s.errProbeSession("ApplyEvents")
+	}
 	d := s.f.Deployment()
 	if d == nil {
 		return nil, fmt.Errorf("scout: fabric has never been deployed")
@@ -307,6 +430,9 @@ func (s *Session) ApplyEvents(batch EventBatch) (*Report, error) {
 func (s *Session) AnalyzeState(st State) (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.a.opts.UseProbes {
+		return nil, s.errProbeSession("AnalyzeState")
+	}
 	if st.Deployment == nil {
 		return nil, fmt.Errorf("scout: state has no deployment")
 	}
@@ -323,10 +449,12 @@ func (s *Session) Invalidate(switches ...ObjectID) {
 	s.lastEpoch = nil
 	if len(switches) == 0 {
 		s.cache = make(map[object.ID]*switchCheckState)
+		s.probeCache = make(map[object.ID]*switchCheckState)
 		return
 	}
 	for _, sw := range switches {
 		delete(s.cache, sw)
+		delete(s.probeCache, sw)
 	}
 }
 
@@ -337,6 +465,7 @@ func (s *Session) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache = make(map[object.ID]*switchCheckState)
+	s.probeCache = make(map[object.ID]*switchCheckState)
 	s.checkers = nil
 	s.base = nil
 	s.baseFP = 0
@@ -351,6 +480,13 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// ProberStats returns the probe-mode prober's counter snapshot (memo
+// hits/misses and batch-classification counters) and whether a prober
+// exists yet. Zero-valued until the first probe-mode Analyze.
+func (s *Session) ProberStats() (probe.Stats, bool) {
+	return s.a.ProberStats()
 }
 
 // analyzeLocked is the incremental pipeline. cleanTCAM, when non-nil,

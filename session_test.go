@@ -3,6 +3,7 @@ package scout_test
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -415,12 +416,167 @@ func TestSessionPrivateCheckers(t *testing.T) {
 	}
 }
 
-// TestSessionRejectsProbes pins the mode restriction: probe observations
-// leave no rule state to fingerprint.
-func TestSessionRejectsProbes(t *testing.T) {
+// TestSessionProbeWarmReplay is the probe-mode replay regression test:
+// a warm probe round on an unchanged fabric performs zero Classify
+// calls (every switch's verdict replays off its TCAM fingerprint, and
+// the prober's batch counters stand still), a one-switch mutation
+// re-classifies exactly that switch, and every round's report is
+// byte-identical to a cold Analyzer probe run — at workers 1, 2, and
+// NumCPU.
+func TestSessionProbeWarmReplay(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		f := faultyFabric(t, 3)
+		opts := scout.AnalyzerOptions{UseProbes: true, Workers: workers}
+		sess, err := scout.NewSession(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numSwitches := f.Topology().NumSwitches()
+
+		// Cold round: every switch's probes are classified, in batches.
+		warm1, err := sess.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sess.Stats()
+		if st.ProbeSwitchesClassified != numSwitches || st.ProbeSwitchesReplayed != 0 {
+			t.Fatalf("workers=%d cold probe stats = %+v, want %d classified", workers, st, numSwitches)
+		}
+		if st.ProbePacketsBatched == 0 {
+			t.Fatalf("workers=%d: cold probe round batched no packets", workers)
+		}
+		cold1, err := scout.NewAnalyzer(opts).Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm1), marshalReport(t, cold1)) {
+			t.Errorf("workers=%d: cold probe session report differs from analyzer", workers)
+		}
+
+		// Warm round on the unchanged fabric: all replay, zero Classify —
+		// the prober's batch and fallback counters must not move.
+		pBefore, ok := sess.ProberStats()
+		if !ok {
+			t.Fatal("probe session has no prober after a round")
+		}
+		warm2, err := sess.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pAfter, _ := sess.ProberStats()
+		st2 := sess.Stats()
+		if got := st2.ProbeSwitchesReplayed - st.ProbeSwitchesReplayed; got != numSwitches {
+			t.Errorf("workers=%d: warm round replayed %d switches, want %d", workers, got, numSwitches)
+		}
+		if got := st2.ProbeSwitchesClassified - st.ProbeSwitchesClassified; got != 0 {
+			t.Errorf("workers=%d: warm round classified %d switches, want 0", workers, got)
+		}
+		if pAfter.BatchPasses != pBefore.BatchPasses || pAfter.BatchedPackets != pBefore.BatchedPackets ||
+			pAfter.FallbackProbes != pBefore.FallbackProbes {
+			t.Errorf("workers=%d: warm round touched the dataplane: %+v -> %+v", workers, pBefore, pAfter)
+		}
+		if !bytes.Equal(marshalReport(t, warm1), marshalReport(t, warm2)) {
+			t.Errorf("workers=%d: warm probe replay report differs from cold round", workers)
+		}
+
+		// Mutate one switch: exactly it re-classifies, the rest replay.
+		dirtySw := f.Topology().Switches()[1]
+		removeOneRule(t, f, dirtySw)
+		warm3, err := sess.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st3 := sess.Stats()
+		if got := st3.ProbeSwitchesClassified - st2.ProbeSwitchesClassified; got != 1 {
+			t.Errorf("workers=%d: post-mutation round classified %d switches, want 1", workers, got)
+		}
+		if got := st3.ProbeSwitchesReplayed - st2.ProbeSwitchesReplayed; got != numSwitches-1 {
+			t.Errorf("workers=%d: post-mutation round replayed %d switches, want %d", workers, got, numSwitches-1)
+		}
+		cold3, err := scout.NewAnalyzer(opts).Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm3), marshalReport(t, cold3)) {
+			t.Errorf("workers=%d: post-mutation probe report differs from cold analyzer", workers)
+		}
+	}
+}
+
+// TestSessionProbeReplayUnderMutations fuzzes the probe replay path:
+// random evict/corrupt/deploy mutations between rounds, with every
+// round's report pinned byte-identical to a cold probe analysis and the
+// replay partition always covering the whole fabric.
+func TestSessionProbeReplayUnderMutations(t *testing.T) {
+	f := faultyFabric(t, 17)
+	opts := scout.AnalyzerOptions{UseProbes: true}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numSwitches := f.Topology().NumSwitches()
+	switches := f.Topology().Switches()
+	rng := rand.New(rand.NewSource(23))
+	prev := sess.Stats()
+	for round := 0; round < 8; round++ {
+		switch rng.Intn(4) {
+		case 0:
+			if _, err := f.EvictTCAM(switches[rng.Intn(len(switches))], 1+rng.Intn(3)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, err := f.CorruptTCAM(switches[rng.Intn(len(switches))], 1+rng.Intn(2),
+				scout.CorruptionField(1+rng.Intn(4))); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			// Redeploy: heals dirty switches and swaps the deployment
+			// pointer, exercising the recompile path of the cache key.
+			if err := f.Deploy(); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			// No mutation: a fully replayed round.
+		}
+		warm, err := sess.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sess.Stats()
+		classified := st.ProbeSwitchesClassified - prev.ProbeSwitchesClassified
+		replayed := st.ProbeSwitchesReplayed - prev.ProbeSwitchesReplayed
+		if classified+replayed != numSwitches {
+			t.Fatalf("round %d: classified %d + replayed %d != %d switches",
+				round, classified, replayed, numSwitches)
+		}
+		prev = st
+		cold, err := scout.NewAnalyzer(opts).Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm), marshalReport(t, cold)) {
+			t.Fatalf("round %d: warm probe report differs from cold analyzer", round)
+		}
+	}
+}
+
+// TestSessionProbeRejectsSnapshotEntryPoints pins the probe-mode driving
+// contract: the entry points that consume collected TCAM snapshots have
+// nothing to probe and must refuse.
+func TestSessionProbeRejectsSnapshotEntryPoints(t *testing.T) {
 	f := faultyFabric(t, 3)
-	if _, err := scout.NewSession(f, scout.AnalyzerOptions{UseProbes: true}); err == nil {
-		t.Fatal("NewSession must reject UseProbes")
+	sess, err := scout.NewSession(f, scout.AnalyzerOptions{UseProbes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AnalyzeEpoch(scout.NewCollector(f, 0).Snapshot()); err == nil {
+		t.Error("AnalyzeEpoch must refuse in probe mode")
+	}
+	if _, err := sess.ApplyEvents(scout.EventBatch{}); err == nil {
+		t.Error("ApplyEvents must refuse in probe mode")
+	}
+	if _, err := sess.AnalyzeState(scout.State{Deployment: f.Deployment()}); err == nil {
+		t.Error("AnalyzeState must refuse in probe mode")
 	}
 }
 
