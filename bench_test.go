@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"scout"
+	"scout/internal/equiv"
 	"scout/internal/eval"
 	"scout/internal/localize"
 	"scout/internal/risk"
@@ -412,17 +413,29 @@ func BenchmarkSessionIncremental(b *testing.B) {
 		if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
 			b.Fatal(err) // warm-up: populate the per-switch cache
 		}
+		var es *equiv.EncodeStats
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			toggle(i)
-			if _, err := sess.AnalyzeEpoch(collector.Snapshot()); err != nil {
+			rep, err := sess.AnalyzeEpoch(collector.Snapshot())
+			if err != nil {
 				b.Fatal(err)
 			}
+			es = rep.EncodeStats
 		}
 		b.StopTimer()
 		st := sess.Stats()
 		if st.Runs > 1 {
 			b.ReportMetric(float64(st.Checked-len(topo.Switches()))/float64(st.Runs-1), "switches-rechecked/op")
+		}
+		// The checkers are long-lived, so EncodeStats counters are
+		// cumulative over the session: report per-op deltas and the
+		// overall op-cache hit rate of the new tiered tables.
+		if es != nil {
+			b.ReportMetric(float64(es.DeltaNodes)/float64(b.N), "delta-nodes/op")
+			if lookups := es.OpCache.Hits() + es.OpCache.Misses; lookups > 0 {
+				b.ReportMetric(100*float64(es.OpCache.Hits())/float64(lookups), "cache-hit-%")
+			}
 		}
 	})
 }

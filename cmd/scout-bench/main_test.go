@@ -187,3 +187,26 @@ func TestRunStormSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBDDSpeedSmoke runs the BDD-core differential experiment on a
+// tiny workload: per-switch report byte-identity against the map-backed
+// reference engine, node-construction and cache-counter identity, and
+// the pipeline byte-identity contract across worker counts.
+func TestRunBDDSpeedSmoke(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{experiment: "bddspeed", scale: 0.05, seed: 3}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"BDD nodes on both engines",
+		"op cache:",
+		"cold-encode wall clock",
+		"reports byte-identical to the map-backed reference and across worker counts: true",
+		"node-construction and cache-hit counters identical across engines and repeat sweeps: true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -206,6 +206,9 @@ func emitReport(report *scout.Report, pstats *scout.ProberStats, jsonOut, verbos
 				es.BaseNodes, es.BaseMatches, es.BaseSemantics, es.DeltaNodes, es.Checkers, es.Hits(), es.BaseHits, es.Misses)
 			fmt.Printf("fold sharing: hits %d (%d from base) / misses %d, check dedup %d groups / %d replays\n",
 				es.FoldHits(), es.FoldBaseHits, es.FoldMisses, es.DedupGroups, es.DedupReplays)
+			fmt.Printf("bdd op cache: %d L1 / %d L2 / %d base hits, %d misses; %d compactions (%d retained / %d dropped)\n",
+				es.OpCache.L1Hits, es.OpCache.L2Hits, es.OpCache.BaseHits, es.OpCache.Misses,
+				es.Compactions, es.CompactRetained, es.CompactDropped)
 		}
 		if pstats != nil {
 			fmt.Printf("\nprober: packet memo %d hits / %d misses, %d batch passes (%d packets batched), %d fallback probes\n",
@@ -381,6 +384,8 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 		st.BaseNodes, st.BaseRebuilds, st.BaseSemantics, st.DeltaNodes, st.EncodeHits, st.EncodeMisses)
 	fmt.Fprintf(w, "session fold sharing: hits %d / misses %d, check dedup %d groups / %d replays\n",
 		st.FoldHits, st.FoldMisses, st.DedupGroups, st.DedupReplays)
+	fmt.Fprintf(w, "session checker GC: %d compactions (%d retained / %d dropped), %d resets\n",
+		st.CheckerCompactions, st.CompactRetained, st.CompactDropped, st.CheckerResets)
 	return report, nil, nil
 }
 

@@ -11,11 +11,20 @@
 // counting and cube enumeration used by tests and the missing-rule
 // extractor.
 //
+// Storage is struct-of-arrays: nodes live in a flat []nodeData slice and
+// the unique table and operation cache are custom open-addressed tables
+// over packed machine-word keys (tables.go) rather than Go maps — node
+// IDs and operation results are identical to the map-backed layout (the
+// exact caches never evict), only the per-operation cost changes. A
+// direct-mapped L1 tier sits in front of the exact op cache, and both
+// clear in O(1) via generation counters instead of reallocation.
+//
 // A manager can be frozen into an immutable Snapshot (Freeze) and forked
 // (NewManagerFrom): forks extend the frozen node-ID prefix with a private
 // delta, so any number of forks share the snapshot's nodes lock-free
 // while building their own. This is how the equivalence checker shares
-// one warm encoding base across check-stage workers.
+// one warm encoding base across check-stage workers. Long-lived forks
+// can shed dead delta nodes in place with CompactDelta (compact.go).
 package bdd
 
 import (
@@ -40,11 +49,6 @@ type nodeData struct {
 	lo, hi Node
 }
 
-type nodeKey struct {
-	level  int32
-	lo, hi Node
-}
-
 type opKind uint8
 
 const (
@@ -52,11 +56,6 @@ const (
 	opOr
 	opXor
 )
-
-type opKey struct {
-	op   opKind
-	a, b Node
-}
 
 const terminalLevel = math.MaxInt32
 
@@ -68,8 +67,8 @@ const terminalLevel = math.MaxInt32
 type Snapshot struct {
 	numVars int
 	nodes   []nodeData
-	unique  map[nodeKey]Node
-	cache   map[opKey]Node
+	unique  nodeTable
+	cache   opCache
 	pow2    []float64
 }
 
@@ -97,6 +96,47 @@ func (s *Snapshot) Eval(n Node, assignment []bool) bool {
 	return n == True
 }
 
+// deltaHint is the default fork table pre-sizing derived from the frozen
+// base's observed size: forks of a heavily-loaded base tend to build
+// proportionally larger deltas (dirty-switch re-encodes against a big
+// deployment), while tiny bases should not drag 64 KiB tables into every
+// short-lived fork. Callers that know their actual delta budget use
+// NewManagerFromSized instead.
+func (s *Snapshot) deltaHint() int {
+	h := len(s.nodes) / 8
+	if h < 1024 {
+		return 1024
+	}
+	if h > 1<<16 {
+		return 1 << 16
+	}
+	return h
+}
+
+// CacheStats counts operation-cache outcomes on a manager's apply path.
+// L1Hits answered from the direct-mapped first tier, BaseHits from the
+// frozen base snapshot's cache, L2Hits from the exact open-addressed
+// table, Misses recursed. The tiers are purely a speed split: every
+// L1/base/L2 hit returns exactly what the exact table holds, so the sum
+// of hits and misses is workload-determined, not policy-determined.
+type CacheStats struct {
+	L1Hits   uint64
+	L2Hits   uint64
+	BaseHits uint64
+	Misses   uint64
+}
+
+// Hits returns all cache hits across tiers.
+func (s CacheStats) Hits() uint64 { return s.L1Hits + s.L2Hits + s.BaseHits }
+
+// Add accumulates other into s.
+func (s *CacheStats) Add(other CacheStats) {
+	s.L1Hits += other.L1Hits
+	s.L2Hits += other.L2Hits
+	s.BaseHits += other.BaseHits
+	s.Misses += other.Misses
+}
+
 // Manager owns a shared BDD node pool over a fixed number of boolean
 // variables. Variable 0 is the topmost in the ordering. A Manager is not
 // safe for concurrent use; share work across goroutines by freezing one
@@ -110,11 +150,20 @@ type Manager struct {
 	baseLen int
 	frozen  bool
 	nodes   []nodeData
-	unique  map[nodeKey]Node
-	cache   map[opKey]Node
+	unique  nodeTable
+	cache   opCache
+	l1      l1Cache
+	stats   CacheStats
 	// pow2[i] = 2^i for i in [0, numVars], precomputed once so SatCount's
 	// per-node visits avoid math.Pow (hot in the missing-rule extractor).
 	pow2 []float64
+	// SatCount memo, reused across calls: satStamps[id] == satStamp marks
+	// satCounts[id] valid for the current call. Bumping satStamp is the
+	// whole between-call invalidation, so steady-state SatCount allocates
+	// nothing.
+	satCounts []float64
+	satStamps []uint32
+	satStamp  uint32
 }
 
 // NewManager creates a manager over numVars boolean variables.
@@ -122,8 +171,8 @@ func NewManager(numVars int) *Manager {
 	m := &Manager{
 		numVars: numVars,
 		nodes:   make([]nodeData, 2, 1024),
-		unique:  make(map[nodeKey]Node, 1024),
-		cache:   make(map[opKey]Node, 1024),
+		unique:  newNodeTable(1024),
+		cache:   newOpCache(1024),
 		pow2:    pow2Table(numVars),
 	}
 	m.nodes[False] = nodeData{level: terminalLevel}
@@ -136,14 +185,27 @@ func NewManager(numVars int) *Manager {
 // private delta starting at ID snapshot.Size(). Creating a fork is O(1)
 // — no node copying — so per-worker forks of a large shared base are
 // cheap, and discarding one (building a replacement fork) discards only
-// its delta.
+// its delta. Delta tables are pre-sized from the base's observed load;
+// callers that know their delta budget use NewManagerFromSized.
 func NewManagerFrom(s *Snapshot) *Manager {
+	return NewManagerFromSized(s, s.deltaHint())
+}
+
+// NewManagerFromSized is NewManagerFrom with an explicit delta budget:
+// the fork's node array and tables are pre-sized for roughly deltaNodes
+// delta nodes, so a caller that knows its working-set bound (a session
+// checker with a node budget) skips the incremental growth ramp.
+func NewManagerFromSized(s *Snapshot, deltaNodes int) *Manager {
+	if deltaNodes < 16 {
+		deltaNodes = 16
+	}
 	return &Manager{
 		numVars: s.numVars,
 		base:    s,
 		baseLen: len(s.nodes),
-		unique:  make(map[nodeKey]Node, 1024),
-		cache:   make(map[opKey]Node, 1024),
+		nodes:   make([]nodeData, 0, deltaNodes),
+		unique:  newNodeTable(deltaNodes),
+		cache:   newOpCache(deltaNodes),
 		pow2:    s.pow2,
 	}
 }
@@ -198,6 +260,9 @@ func (m *Manager) DeltaSize() int { return len(m.nodes) }
 // nothing.
 func (m *Manager) InBase(n Node) bool { return int(n) < m.baseLen }
 
+// CacheStats returns the cumulative operation-cache hit/miss counters.
+func (m *Manager) CacheStats() CacheStats { return m.stats }
+
 // node resolves a node ID through the frozen base or the private delta.
 func (m *Manager) node(n Node) nodeData {
 	if int(n) < m.baseLen {
@@ -230,13 +295,12 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	key := nodeKey{level: level, lo: lo, hi: hi}
 	if m.base != nil {
-		if n, ok := m.base.unique[key]; ok {
+		if n := m.base.unique.lookup(m.base.nodes, 0, level, lo, hi); n != 0 {
 			return n
 		}
 	}
-	if n, ok := m.unique[key]; ok {
+	if n := m.unique.lookup(m.nodes, m.baseLen, level, lo, hi); n != 0 {
 		return n
 	}
 	if m.frozen {
@@ -244,7 +308,7 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	}
 	n := Node(m.baseLen + len(m.nodes))
 	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
-	m.unique[key] = n
+	m.unique.insert(m.nodes, m.baseLen, n)
 	return n
 }
 
@@ -336,18 +400,29 @@ func (m *Manager) apply(op opKind, a, b Node) Node {
 	if cb < ca {
 		ca, cb = cb, ca
 	}
-	key := opKey{op: op, a: ca, b: cb}
-	// The base's frozen operation cache answers for operations whose
-	// operands and result all predate the freeze — the warm encodings a
-	// fork exists to reuse.
+	key := packOpKey(op, ca, cb)
+	// Tier order: direct-mapped L1 (one predictable load) in front of the
+	// base's frozen cache (operations whose operands and result all
+	// predate the freeze — the warm encodings a fork exists to reuse) in
+	// front of the exact local table. Hits from the slower tiers refill
+	// L1 so the tight re-reference runs of cofactor recursion stay in it.
+	if r, ok := m.l1.lookup(key); ok {
+		m.stats.L1Hits++
+		return r
+	}
 	if m.base != nil {
-		if r, ok := m.base.cache[key]; ok {
+		if r, ok := m.base.cache.lookup(key); ok {
+			m.stats.BaseHits++
+			m.l1.store(key, r)
 			return r
 		}
 	}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.cache.lookup(key); ok {
+		m.stats.L2Hits++
+		m.l1.store(key, r)
 		return r
 	}
+	m.stats.Misses++
 
 	da, db := m.node(a), m.node(b)
 	var level int32
@@ -361,7 +436,8 @@ func (m *Manager) apply(op opKind, a, b Node) Node {
 		level, aLo, aHi, bLo, bHi = db.level, a, a, db.lo, db.hi
 	}
 	r := m.mk(level, m.apply(op, aLo, bLo), m.apply(op, aHi, bHi))
-	m.cache[key] = r
+	m.cache.insert(key, r)
+	m.l1.store(key, r)
 	return r
 }
 
@@ -396,29 +472,41 @@ func (m *Manager) Cube(literals map[int]bool) Node {
 // SatCount returns the number of satisfying assignments of n over the full
 // variable set, as a float64 (counts can exceed 2^53 for wide managers;
 // the checker only compares counts for equality at small widths in tests).
+// The memo is a stamped slice indexed by (dense) node ID, reused across
+// calls: steady-state SatCount allocates nothing.
 func (m *Manager) SatCount(n Node) float64 {
-	memo := make(map[Node]float64)
-	var count func(Node) float64
-	count = func(n Node) float64 {
-		if n == False {
-			return 0
-		}
-		if n == True {
-			return 1
-		}
-		if c, ok := memo[n]; ok {
-			return c
-		}
-		d := m.node(n)
-		loLevel := m.levelOf(d.lo)
-		hiLevel := m.levelOf(d.hi)
-		c := count(d.lo)*m.pow2[loLevel-d.level-1] +
-			count(d.hi)*m.pow2[hiLevel-d.level-1]
-		memo[n] = c
-		return c
+	if size := m.Size(); len(m.satCounts) < size {
+		m.satCounts = make([]float64, size)
+		m.satStamps = make([]uint32, size)
+		m.satStamp = 0
 	}
-	top := m.levelOf(n)
-	return count(n) * m.pow2[top]
+	m.satStamp++
+	if m.satStamp == 0 {
+		// Stamp wrap: zero the stamps so stale entries cannot alias.
+		for i := range m.satStamps {
+			m.satStamps[i] = 0
+		}
+		m.satStamp = 1
+	}
+	return m.satCount(n) * m.pow2[m.levelOf(n)]
+}
+
+func (m *Manager) satCount(n Node) float64 {
+	if n == False {
+		return 0
+	}
+	if n == True {
+		return 1
+	}
+	if m.satStamps[n] == m.satStamp {
+		return m.satCounts[n]
+	}
+	d := m.node(n)
+	c := m.satCount(d.lo)*m.pow2[m.levelOf(d.lo)-d.level-1] +
+		m.satCount(d.hi)*m.pow2[m.levelOf(d.hi)-d.level-1]
+	m.satCounts[n] = c
+	m.satStamps[n] = m.satStamp
+	return c
 }
 
 func (m *Manager) levelOf(n Node) int32 {
@@ -487,7 +575,10 @@ func (m *Manager) Eval(n Node, assignment []bool) bool {
 }
 
 // ClearCache drops the operation cache (the unique table is kept so node
-// identity is preserved). A fork's frozen base cache is unaffected.
+// identity is preserved). Clearing is allocation-free: both cache tiers
+// bump their generation counter instead of reallocating. A fork's frozen
+// base cache is unaffected.
 func (m *Manager) ClearCache() {
-	m.cache = make(map[opKey]Node, 1024)
+	m.cache.clear()
+	m.l1.clear()
 }

@@ -1,0 +1,299 @@
+package bdd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildForkWorkload builds a frozen base plus a fork carrying both
+// base-resident and delta roots, returning the fork, the roots the
+// caller wants to keep live, and some deliberately dropped roots.
+func buildForkWorkload(t *testing.T, nVars int, seed int64) (snap *Snapshot, fork *Manager, keep, drop []Node) {
+	t.Helper()
+	base := NewManager(nVars)
+	rng := rand.New(rand.NewSource(seed))
+	var baseRoots []Node
+	for i := 0; i < 6; i++ {
+		n, _ := randomFormula(base, rng, 4)
+		baseRoots = append(baseRoots, n)
+	}
+	snap = base.Freeze()
+	fork = NewManagerFrom(snap)
+	keep = append(keep, baseRoots[:3]...)
+	for i := 0; i < 8; i++ {
+		n, _ := randomFormula(fork, rng, 5)
+		if i%2 == 0 {
+			keep = append(keep, n)
+		} else {
+			drop = append(drop, n)
+		}
+	}
+	return snap, fork, keep, drop
+}
+
+// evalSignature samples a root's truth value on deterministic
+// assignments — enough to distinguish the workload's functions.
+func evalSignature(m *Manager, n Node, nVars int) []bool {
+	rng := rand.New(rand.NewSource(99))
+	sig := make([]bool, 64)
+	assign := make([]bool, nVars)
+	for i := range sig {
+		for j := range assign {
+			assign[j] = rng.Intn(2) == 0
+		}
+		sig[i] = m.Eval(n, assign)
+	}
+	return sig
+}
+
+func sigEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompactDeltaForkOracle(t *testing.T) {
+	const nVars = 12
+	_, fork, keep, drop := buildForkWorkload(t, nVars, 1)
+
+	sigs := make([][]bool, len(keep))
+	counts := make([]float64, len(keep))
+	for i, n := range keep {
+		sigs[i] = evalSignature(fork, n, nVars)
+		counts[i] = fork.SatCount(n)
+	}
+	before := fork.DeltaSize()
+
+	remap, stats := fork.CompactDelta(keep)
+	if stats.Retained+stats.Dropped != before {
+		t.Fatalf("retained %d + dropped %d != pre-compact delta %d",
+			stats.Retained, stats.Dropped, before)
+	}
+	if fork.DeltaSize() != stats.Retained {
+		t.Fatalf("post-compact DeltaSize %d != retained %d", fork.DeltaSize(), stats.Retained)
+	}
+	if stats.Dropped == 0 {
+		t.Fatalf("workload built dead roots but nothing was dropped")
+	}
+
+	// Base nodes (and terminals) are pinned: identity under the remap.
+	for id := Node(0); int(id) < fork.baseLen; id++ {
+		if remap.Node(id) != id {
+			t.Fatalf("base node %d remapped to %d", id, remap.Node(id))
+		}
+	}
+
+	for i, n := range keep {
+		rn := remap.Node(n)
+		if rn == NoNode {
+			t.Fatalf("live root %d mapped to NoNode", n)
+		}
+		if fork.InBase(n) != fork.InBase(rn) {
+			t.Fatalf("root %d changed base residency under remap", n)
+		}
+		if !sigEqual(evalSignature(fork, rn, nVars), sigs[i]) {
+			t.Fatalf("root %d evaluates differently after compaction", n)
+		}
+		if got := fork.SatCount(rn); got != counts[i] {
+			t.Fatalf("root %d SatCount %v after compaction, want %v", n, got, counts[i])
+		}
+	}
+	for _, n := range drop {
+		if fork.InBase(n) {
+			continue // base-expressible roots survive by definition
+		}
+		if remap.Node(n) != NoNode {
+			t.Fatalf("dead delta root %d survived as %d", n, remap.Node(n))
+		}
+	}
+
+	// Idempotence: compacting again with the remapped roots keeps
+	// everything and maps every live node to itself.
+	live := make([]Node, 0, len(keep))
+	for _, n := range keep {
+		live = append(live, remap.Node(n))
+	}
+	sizeBefore := fork.DeltaSize()
+	remap2, stats2 := fork.CompactDelta(live)
+	if stats2.Dropped != 0 || stats2.Retained != sizeBefore {
+		t.Fatalf("second compaction not a no-op: %+v (delta %d)", stats2, sizeBefore)
+	}
+	for _, n := range live {
+		if remap2.Node(n) != n {
+			t.Fatalf("idempotent compaction moved %d to %d", n, remap2.Node(n))
+		}
+	}
+}
+
+// TestCompactDeltaInterning pins the rebuilt unique table: re-deriving a
+// kept function after compaction must resolve to its remapped ID, not
+// intern a duplicate.
+func TestCompactDeltaInterning(t *testing.T) {
+	base := NewManager(8)
+	for v := 0; v < 7; v++ {
+		base.And(base.Var(v), base.Var(v+1))
+	}
+	snap := base.Freeze()
+	fork := NewManagerFrom(snap)
+
+	// Keep the Xor intermediate live too, so the re-derivation below can
+	// resolve every step from the rebuilt unique table.
+	x := fork.Xor(fork.Var(0), fork.Var(3))
+	keepRoot := fork.And(x, fork.Var(5))
+	fork.OrAll([]Node{fork.Var(1), fork.Var(2), fork.Var(6)}) // dead
+
+	remap, _ := fork.CompactDelta([]Node{x, keepRoot})
+	want := remap.Node(keepRoot)
+	size := fork.DeltaSize()
+	if got := fork.And(fork.Xor(fork.Var(0), fork.Var(3)), fork.Var(5)); got != want {
+		t.Fatalf("re-derived kept function interned as %d, want remapped %d", got, want)
+	}
+	if fork.DeltaSize() != size {
+		t.Fatalf("re-deriving a kept function grew the delta %d -> %d", size, fork.DeltaSize())
+	}
+}
+
+// TestCompactDeltaKeepsWarmCache pins the memo-retention property that
+// makes compaction cheaper than Reset: an operation over surviving
+// nodes, repeated after compaction, is a cache hit (no new nodes, no
+// misses), because its entry was remapped rather than dropped.
+func TestCompactDeltaKeepsWarmCache(t *testing.T) {
+	base := NewManager(10)
+	for v := 0; v < 9; v++ {
+		base.Or(base.Var(v), base.Var(v+1))
+	}
+	snap := base.Freeze()
+	fork := NewManagerFrom(snap)
+
+	a := fork.And(fork.Var(0), fork.Xor(fork.Var(4), fork.Var(7)))
+	b := fork.Or(fork.NVar(2), fork.Var(8))
+	r := fork.And(a, b)
+
+	remap, stats := fork.CompactDelta([]Node{a, b, r})
+	if stats.CacheKept == 0 {
+		t.Fatalf("no op-cache entries survived a fully-live compaction: %+v", stats)
+	}
+	misses := fork.CacheStats().Misses
+	size := fork.DeltaSize()
+	if got := fork.And(remap.Node(a), remap.Node(b)); got != remap.Node(r) {
+		t.Fatalf("repeat of warm op returned %d, want %d", got, remap.Node(r))
+	}
+	if fork.CacheStats().Misses != misses {
+		t.Fatalf("repeat of warm op missed the cache after compaction")
+	}
+	if fork.DeltaSize() != size {
+		t.Fatalf("repeat of warm op built nodes after compaction: %d -> %d", size, fork.DeltaSize())
+	}
+}
+
+func TestCompactDeltaStandalone(t *testing.T) {
+	m := NewManager(10)
+	rng := rand.New(rand.NewSource(5))
+	var keep []Node
+	for i := 0; i < 6; i++ {
+		n, _ := randomFormula(m, rng, 5)
+		if i%2 == 0 {
+			keep = append(keep, n)
+		}
+	}
+	sigs := make([][]bool, len(keep))
+	for i, n := range keep {
+		sigs[i] = evalSignature(m, n, 10)
+	}
+	remap, stats := m.CompactDelta(keep)
+	// Terminals are pinned even without a frozen base.
+	if remap.Node(False) != False || remap.Node(True) != True {
+		t.Fatalf("terminals moved: %d, %d", remap.Node(False), remap.Node(True))
+	}
+	if m.DeltaSize() != stats.Retained+2 {
+		t.Fatalf("standalone DeltaSize %d != retained %d + terminals", m.DeltaSize(), stats.Retained)
+	}
+	for i, n := range keep {
+		if !sigEqual(evalSignature(m, remap.Node(n), 10), sigs[i]) {
+			t.Fatalf("root %d evaluates differently after standalone compaction", n)
+		}
+	}
+	// The compacted manager keeps working: new construction interns fine.
+	n2, tt := randomFormula(m, rng, 5)
+	assign := make([]bool, 10)
+	for a := 0; a < 1<<10; a += 37 {
+		for j := range assign {
+			assign[j] = a&(1<<j) != 0
+		}
+		if m.Eval(n2, assign) != tt[a] {
+			t.Fatalf("post-compaction construction wrong at assignment %d", a)
+		}
+	}
+}
+
+// TestCompactDeltaConcurrentSnapshotReaders races per-goroutine fork
+// compactions against lock-free snapshot readers: compaction touches
+// only fork-private state, so readers of the shared frozen base must
+// never observe it (meaningful under -race).
+func TestCompactDeltaConcurrentSnapshotReaders(t *testing.T) {
+	const nVars = 10
+	base := NewManager(nVars)
+	var frozen []Node
+	for v := 0; v < nVars-1; v++ {
+		frozen = append(frozen, base.And(base.Var(v), base.Var(v+1)))
+	}
+	snap := base.Freeze()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			fork := NewManagerFrom(snap)
+			var keep []Node
+			for i := 0; i < 40; i++ {
+				n, _ := randomFormula(fork, rng, 4)
+				keep = append(keep, n)
+				if i%10 == 9 {
+					roots := keep[len(keep)-3:]
+					remap, _ := fork.CompactDelta(roots)
+					keep = keep[:0]
+					for _, r := range roots {
+						keep = append(keep, remap.Node(r))
+					}
+				}
+			}
+			// Base-expressible rebuilds must still resolve to frozen IDs.
+			v := rng.Intn(nVars - 1)
+			if fork.And(fork.Var(v), fork.Var(v+1)) != frozen[v] {
+				errs <- "fork disagreed with frozen ID after compactions"
+			}
+		}(g)
+	}
+	// Concurrent snapshot readers.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			assign := make([]bool, nVars)
+			for i := 0; i < 2000; i++ {
+				for j := range assign {
+					assign[j] = rng.Intn(2) == 0
+				}
+				v := rng.Intn(nVars - 1)
+				want := assign[v] && assign[v+1]
+				if snap.Eval(frozen[v], assign) != want {
+					errs <- "snapshot reader observed a wrong value"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,163 @@
+package equiv
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scout/internal/bdd"
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// randomRuleList builds a prioritized rule list with mixed exact matches,
+// wildcards, and port ranges, ending in a default deny.
+func randomRuleList(rng *rand.Rand, n int) []rule.Rule {
+	rules := make([]rule.Rule, 0, n+1)
+	for i := 0; i < n; i++ {
+		r := rule.Rule{
+			Match: rule.Match{
+				VRF:    object.ID(rng.Intn(4) + 1),
+				SrcEPG: object.ID(rng.Intn(6) + 1),
+				DstEPG: object.ID(rng.Intn(6) + 1),
+				Proto:  rule.ProtoTCP,
+				PortLo: uint16(rng.Intn(1000)),
+			},
+			Action:   rule.Allow,
+			Priority: 10,
+		}
+		r.Match.PortHi = r.Match.PortLo + uint16(rng.Intn(200))
+		switch rng.Intn(5) {
+		case 0:
+			r.Match.WildcardSrc = true
+		case 1:
+			r.Match.WildcardDst = true
+		case 2:
+			r.Match.Proto = rule.ProtoAny
+		case 3:
+			r.Action = rule.Deny
+		}
+		rules = append(rules, r)
+	}
+	return append(rules, rule.DefaultDeny())
+}
+
+// TestCheckerBackendDifferential runs the same check workload through a
+// checker on the open-addressed manager and a checker on the map-backed
+// reference, asserting report equality — the property the bddspeed
+// experiment scales up to full pipeline runs.
+func TestCheckerBackendDifferential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fast := NewChecker()
+		ref := NewCheckerBacked(func() Backend { return bdd.NewRefManager(NumVars) })
+
+		for i := 0; i < 12; i++ {
+			logical := randomRuleList(rng, 8)
+			deployed := randomRuleList(rng, 8)
+			if rng.Intn(3) == 0 {
+				deployed = logical // equivalent case
+			}
+			got, err := fast.Check(logical, deployed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Check(logical, deployed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d check %d: reports diverged\nfast: %+v\nref:  %+v", seed, i, got, want)
+			}
+		}
+		// Node construction totals must agree too: the engines build the
+		// same nodes, not just the same answers.
+		if fast.Size() != ref.Size() {
+			t.Fatalf("seed %d: node counts diverged: fast %d, ref %d", seed, fast.Size(), ref.Size())
+		}
+	}
+}
+
+// TestCheckerCompactPreservesReports pins the checker-level compaction
+// contract: after Compact, re-checking already-seen switches still hits
+// the (remapped) memos and yields identical reports.
+func TestCheckerCompactPreservesReports(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := NewBase(nil)
+	for _, c := range []*Checker{NewChecker(), base.NewChecker()} {
+		var lists [][2][]rule.Rule
+		var reports []*Report
+		for i := 0; i < 8; i++ {
+			logical := randomRuleList(rng, 10)
+			deployed := randomRuleList(rng, 10)
+			rep, err := c.Check(logical, deployed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lists = append(lists, [2][]rule.Rule{logical, deployed})
+			reports = append(reports, rep)
+		}
+
+		preStats := c.Stats()
+		_, ok := c.Compact()
+		if !ok {
+			t.Fatal("Compact refused on a Manager-backed checker")
+		}
+		if got := c.Stats(); got.Compactions != preStats.Compactions+1 {
+			t.Fatalf("Compactions counter = %d, want %d", got.Compactions, preStats.Compactions+1)
+		}
+
+		for i, pair := range lists {
+			rep, err := c.Check(pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rep, reports[i]) {
+				t.Fatalf("report %d changed after Compact:\nbefore: %+v\nafter:  %+v", i, reports[i], rep)
+			}
+		}
+		// Every re-check must resolve its semantics from memo — the warm
+		// state Compact exists to keep.
+		post := c.Stats()
+		if post.FoldMisses != preStats.FoldMisses {
+			t.Fatalf("re-checks after Compact re-folded semantics: %d -> %d misses",
+				preStats.FoldMisses, post.FoldMisses)
+		}
+	}
+}
+
+// TestCheckerCompactShrinksDelta pins that compaction actually sheds
+// dead intermediates on a fold-heavy workload.
+func TestCheckerCompactShrinksDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := NewChecker()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Check(randomRuleList(rng, 12), randomRuleList(rng, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.DeltaSize()
+	st, ok := c.Compact()
+	if !ok {
+		t.Fatal("Compact refused")
+	}
+	if st.Dropped == 0 || c.DeltaSize() >= before {
+		t.Fatalf("compaction shed nothing: before %d, after %d (%+v)", before, c.DeltaSize(), st)
+	}
+}
+
+// TestRefBackedCheckerCompactNoop: the reference backend cannot compact;
+// the call must refuse gracefully and change nothing.
+func TestRefBackedCheckerCompactNoop(t *testing.T) {
+	c := NewCheckerBacked(func() Backend { return bdd.NewRefManager(NumVars) })
+	if _, err := c.Check(randomRuleList(rand.New(rand.NewSource(1)), 5), randomRuleList(rand.New(rand.NewSource(2)), 5)); err != nil {
+		t.Fatal(err)
+	}
+	size := c.Size()
+	if _, ok := c.Compact(); ok {
+		t.Fatal("Compact claimed success on the reference backend")
+	}
+	if c.Size() != size {
+		t.Fatalf("no-op Compact changed Size: %d -> %d", size, c.Size())
+	}
+}

@@ -87,10 +87,25 @@ func NewBase(matches []rule.Match, semantics ...[]rule.Rule) *Base {
 // NewChecker forks the base: the returned checker resolves every warmed
 // match and whole-switch semantics root from the base's frozen memos and
 // builds only novel encodings and folds in its private copy-on-write
-// delta. Forking is O(1); use one fork per worker goroutine.
+// delta. Forking is O(1); use one fork per worker goroutine. The fork's
+// delta tables are pre-sized from the base's observed load; callers with
+// an explicit delta budget use NewCheckerSized.
 func (b *Base) NewChecker() *Checker {
+	return b.newChecker(func() Backend { return bdd.NewManagerFrom(b.snap) })
+}
+
+// NewCheckerSized is NewChecker with an explicit delta-node budget: the
+// fork's node array and tables are pre-sized for it, so a session
+// checker that will be compacted at the budget skips the growth ramp.
+// Reset keeps the sizing.
+func (b *Base) NewCheckerSized(deltaNodes int) *Checker {
+	return b.newChecker(func() Backend { return bdd.NewManagerFromSized(b.snap, deltaNodes) })
+}
+
+func (b *Base) newChecker(newM func() Backend) *Checker {
 	return &Checker{
-		m:        bdd.NewManagerFrom(b.snap),
+		m:        newM(),
+		newM:     newM,
 		base:     b,
 		matchMem: make(map[rule.Match]bdd.Node, 1024),
 		semMem:   make(map[uint64]semRoot, 64),
@@ -215,6 +230,19 @@ type EncodeStats struct {
 	// when the run's checker mode disables dedup (private, naive).
 	DedupGroups  int
 	DedupReplays int
+
+	// OpCache sums the checkers' BDD operation-cache tier counters
+	// (direct-mapped L1 hits, exact-table L2 hits, frozen-base hits,
+	// misses). Like the encode counters, cumulative over each checker's
+	// lifetime for session-produced reports.
+	OpCache bdd.CacheStats
+
+	// Compactions, CompactRetained, and CompactDropped sum the checkers'
+	// delta-GC counters: compaction runs and the delta nodes they kept
+	// and shed.
+	Compactions     int
+	CompactRetained int
+	CompactDropped  int
 }
 
 // TotalNodes is the run's total BDD node construction: the shared base
@@ -252,6 +280,10 @@ func AggregateEncodeStats(base *Base, checkers []*Checker) *EncodeStats {
 		st.FoldBaseHits += cs.FoldBaseHits
 		st.FoldLocalHits += cs.FoldLocalHits
 		st.FoldMisses += cs.FoldMisses
+		st.OpCache.Add(cs.Cache)
+		st.Compactions += cs.Compactions
+		st.CompactRetained += cs.CompactRetained
+		st.CompactDropped += cs.CompactDropped
 	}
 	return st
 }

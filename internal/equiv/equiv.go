@@ -37,6 +37,34 @@ const (
 // maxID is the largest object ID representable in the encoding.
 const maxID = 1<<vrfBits - 1
 
+// Backend is the BDD-manager surface the checker builds on. Its primary
+// implementation is *bdd.Manager (open-addressed tables); *bdd.RefManager
+// (the map-backed reference) satisfies it too, which is how the bddspeed
+// experiment and the differential tests run full checker workloads on
+// both engines and compare the reports byte for byte.
+type Backend interface {
+	NumVars() int
+	Var(v int) bdd.Node
+	NVar(v int) bdd.Node
+	Cube(literals map[int]bool) bdd.Node
+	And(a, b bdd.Node) bdd.Node
+	Or(a, b bdd.Node) bdd.Node
+	Xor(a, b bdd.Node) bdd.Node
+	Not(a bdd.Node) bdd.Node
+	Diff(a, b bdd.Node) bdd.Node
+	OrAll(nodes []bdd.Node) bdd.Node
+	Implies(a, b bdd.Node) bool
+	Equiv(a, b bdd.Node) bool
+	SatCount(n bdd.Node) float64
+	AllSat(n bdd.Node, fn func(cube []bdd.Lit) bool)
+	Eval(n bdd.Node, assignment []bool) bool
+	Size() int
+	DeltaSize() int
+	InBase(n bdd.Node) bool
+	CacheStats() bdd.CacheStats
+	ClearCache()
+}
+
 // Checker performs BDD-based equivalence checks between rule sets. A
 // Checker owns a BDD manager and memoizes per-rule encodings, so reusing
 // one Checker across many switches amortizes node construction. Not safe
@@ -50,7 +78,11 @@ const maxID = 1<<vrfBits - 1
 // private copy-on-write delta, so any number of concurrent forks share
 // one node pool for the hot encodings and the hot folds.
 type Checker struct {
-	m        *bdd.Manager
+	m Backend
+	// newM recreates the manager on Reset with the same kind and sizing
+	// the checker was constructed with (standalone, ref-backed, or a
+	// fork pre-sized to a delta budget).
+	newM     func() Backend
 	base     *Base // nil for standalone checkers
 	matchMem map[rule.Match]bdd.Node
 	// semMem memoizes whole-list semantics roots by SemanticsFingerprint,
@@ -72,6 +104,16 @@ type Checker struct {
 	foldBaseHits  int
 	foldLocalHits int
 	foldMisses    int
+
+	// cacheAcc accumulates the op-cache counters of managers discarded
+	// by Reset, so Stats stays cumulative like the encode counters.
+	cacheAcc bdd.CacheStats
+
+	// Compaction counters, cumulative: compactions run, delta nodes
+	// retained and dropped across them.
+	compactions     int
+	compactRetained int
+	compactDropped  int
 }
 
 // semRoot is one memoized whole-list semantics fold: the frozen (or
@@ -84,8 +126,17 @@ type semRoot struct {
 
 // NewChecker creates a standalone checker with a fresh BDD manager.
 func NewChecker() *Checker {
+	return NewCheckerBacked(func() Backend { return bdd.NewManager(NumVars) })
+}
+
+// NewCheckerBacked creates a standalone checker over a caller-supplied
+// manager factory — the hook the differential harness uses to run a real
+// checker on the map-backed reference engine. The factory is also used
+// by Reset, so the checker keeps its backend kind for life.
+func NewCheckerBacked(newM func() Backend) *Checker {
 	return &Checker{
-		m:        bdd.NewManager(NumVars),
+		m:        newM(),
+		newM:     newM,
 		matchMem: make(map[rule.Match]bdd.Node, 1024),
 		semMem:   make(map[uint64]semRoot, 64),
 	}
@@ -106,9 +157,14 @@ func (c *Checker) DeltaSize() int { return c.m.DeltaSize() }
 
 // Stats returns the checker's cumulative encoding counters.
 func (c *Checker) Stats() CheckerStats {
+	cache := c.cacheAcc
+	cache.Add(c.m.CacheStats())
 	return CheckerStats{
 		BaseHits: c.baseHits, LocalHits: c.localHits, Misses: c.misses,
 		FoldBaseHits: c.foldBaseHits, FoldLocalHits: c.foldLocalHits, FoldMisses: c.foldMisses,
+		Cache:           cache,
+		Compactions:     c.compactions,
+		CompactRetained: c.compactRetained, CompactDropped: c.compactDropped,
 	}
 }
 
@@ -130,6 +186,16 @@ type CheckerStats struct {
 	FoldLocalHits int
 	// FoldMisses are semantics folds built from scratch in this checker.
 	FoldMisses int
+
+	// Cache is the manager's operation-cache tier breakdown (L1/L2/base
+	// hits and misses), cumulative across Resets.
+	Cache bdd.CacheStats
+
+	// Compactions counts Compact calls that ran a delta GC, with the
+	// delta nodes they retained and dropped.
+	Compactions     int
+	CompactRetained int
+	CompactDropped  int
 }
 
 // Reset discards the checker's own BDD nodes and memoized match
@@ -138,13 +204,47 @@ type CheckerStats struct {
 // lose only the delta. Checks after a Reset produce identical reports —
 // only the amortized encoding work is lost. Encoding counters survive.
 func (c *Checker) Reset() {
-	if c.base != nil {
-		c.m = bdd.NewManagerFrom(c.base.snap)
-	} else {
-		c.m = bdd.NewManager(NumVars)
-	}
+	c.cacheAcc.Add(c.m.CacheStats())
+	c.m = c.newM()
 	c.matchMem = make(map[rule.Match]bdd.Node, 1024)
 	c.semMem = make(map[uint64]semRoot, 64)
+}
+
+// Compact runs a delta GC on the checker's manager: every memoized match
+// encoding and semantics root is a live root, everything else in the
+// delta is dead and dropped, and the memos are remapped to the compacted
+// IDs. Unlike Reset it keeps the warm memo state — subsequent checks of
+// already-seen switches still hit — while shedding the intermediate
+// nodes dead since their folds completed. Reports after a Compact are
+// identical; ROBDD canonicity only cares that each memoized function
+// keeps a consistent ID, not which ID.
+//
+// Compact returns false (and does nothing) when the backend does not
+// support compaction (the map-backed reference manager).
+func (c *Checker) Compact() (bdd.CompactStats, bool) {
+	m, ok := c.m.(*bdd.Manager)
+	if !ok {
+		return bdd.CompactStats{}, false
+	}
+	roots := make([]bdd.Node, 0, len(c.matchMem)+len(c.semMem))
+	for _, n := range c.matchMem {
+		roots = append(roots, n)
+	}
+	for _, e := range c.semMem {
+		roots = append(roots, e.node)
+	}
+	remap, stats := m.CompactDelta(roots)
+	for k, n := range c.matchMem {
+		c.matchMem[k] = remap.Node(n)
+	}
+	for k, e := range c.semMem {
+		e.node = remap.Node(e.node)
+		c.semMem[k] = e
+	}
+	c.compactions++
+	c.compactRetained += stats.Retained
+	c.compactDropped += stats.Dropped
+	return stats, true
 }
 
 // Report is the outcome of one L-T equivalence check.
@@ -258,7 +358,7 @@ func (c *Checker) semantics(rules []rule.Rule) (bdd.Node, error) {
 // balanced OR reduction before the priority fold — turning the naive
 // O(N²) left fold into O(N log N) BDD work for the common all-allow +
 // default-deny rule lists.
-func foldSemantics(m *bdd.Manager, encode func(rule.Match) (bdd.Node, error), rules []rule.Rule) (bdd.Node, error) {
+func foldSemantics(m Backend, encode func(rule.Match) (bdd.Node, error), rules []rule.Rule) (bdd.Node, error) {
 	allowed := bdd.False
 	covered := bdd.False
 	for start := 0; start < len(rules); {
@@ -310,7 +410,7 @@ func (c *Checker) encodeMatch(m rule.Match) (bdd.Node, error) {
 }
 
 // buildMatchBDD builds the BDD of header tuples covered by match in m.
-func buildMatchBDD(m *bdd.Manager, match rule.Match) (bdd.Node, error) {
+func buildMatchBDD(m Backend, match rule.Match) (bdd.Node, error) {
 	n := bdd.True
 	if !match.WildcardVRF {
 		if match.VRF > maxID {
@@ -344,7 +444,7 @@ func buildMatchBDD(m *bdd.Manager, match rule.Match) (bdd.Node, error) {
 
 // equalsBDD encodes field == value over width bits starting at variable
 // off (most-significant bit at the lowest variable index).
-func equalsBDD(m *bdd.Manager, off, width int, value uint32) bdd.Node {
+func equalsBDD(m Backend, off, width int, value uint32) bdd.Node {
 	lits := make(map[int]bool, width)
 	for i := 0; i < width; i++ {
 		bit := (value >> uint(width-1-i)) & 1
@@ -354,12 +454,12 @@ func equalsBDD(m *bdd.Manager, off, width int, value uint32) bdd.Node {
 }
 
 // rangeBDD encodes lo <= field <= hi over width bits starting at off.
-func rangeBDD(m *bdd.Manager, off, width int, lo, hi uint32) bdd.Node {
+func rangeBDD(m Backend, off, width int, lo, hi uint32) bdd.Node {
 	return m.And(geBDD(m, off, width, 0, lo), leBDD(m, off, width, 0, hi))
 }
 
 // leBDD encodes field <= value considering bits [i, width).
-func leBDD(m *bdd.Manager, off, width, i int, value uint32) bdd.Node {
+func leBDD(m Backend, off, width, i int, value uint32) bdd.Node {
 	if i == width {
 		return bdd.True
 	}
@@ -374,7 +474,7 @@ func leBDD(m *bdd.Manager, off, width, i int, value uint32) bdd.Node {
 }
 
 // geBDD encodes field >= value considering bits [i, width).
-func geBDD(m *bdd.Manager, off, width, i int, value uint32) bdd.Node {
+func geBDD(m Backend, off, width, i int, value uint32) bdd.Node {
 	if i == width {
 		return bdd.True
 	}

@@ -99,6 +99,14 @@ type AnalyzerOptions struct {
 	// Reports are byte-identical either way — the base only moves where
 	// encoding work happens, never what a check returns.
 	PrivateCheckers bool
+
+	// SessionNodeBudget bounds each session worker checker's private BDD
+	// delta (in nodes). A checker over budget is first compacted (delta
+	// GC around its live memo roots, keeping warm state) and Reset only
+	// if compaction alone cannot get it under. 0 selects the default
+	// (4 << 20); negative disables the bound. One-shot Analyzers ignore
+	// it — their checkers live for a single run.
+	SessionNodeBudget int
 }
 
 // Analyzer runs the SCOUT pipeline against a fabric.
@@ -365,6 +373,19 @@ func (a *Analyzer) newWorkerCheckerFrom(base *equiv.Base) *equiv.Checker {
 	}
 	if base != nil {
 		return base.NewChecker()
+	}
+	return equiv.NewChecker()
+}
+
+// newWorkerCheckerSized is newWorkerCheckerFrom for callers that know
+// their checker's delta budget (sessions): base forks pre-size their
+// node array and tables for deltaNodes, skipping the growth ramp.
+func (a *Analyzer) newWorkerCheckerSized(base *equiv.Base, deltaNodes int) *equiv.Checker {
+	if a.opts.UseNaiveChecker || a.opts.UseProbes {
+		return nil
+	}
+	if base != nil {
+		return base.NewCheckerSized(deltaNodes)
 	}
 	return equiv.NewChecker()
 }

@@ -16,13 +16,15 @@ import (
 )
 
 // sessionCheckerNodeBudget bounds how many BDD nodes a session worker
-// checker may accumulate before its manager is rebuilt. Long-lived
-// checkers never free nodes, so without a budget a session watching a
-// churning fabric would grow without bound; resetting only costs the
-// amortized encoding work. The budget applies to each checker's private
-// delta only (equiv.Checker.DeltaSize): the shared frozen base is
-// deployment-scoped, immutable, and not the checker's to shed — a fork's
-// Reset re-forks the base and discards just the delta.
+// checker may accumulate before the session intervenes (the default for
+// AnalyzerOptions.SessionNodeBudget). Without a budget a session
+// watching a churning fabric would grow without bound. The budget
+// applies to each checker's private delta only (equiv.Checker.DeltaSize):
+// the shared frozen base is deployment-scoped, immutable, and not the
+// checker's to shed. An over-budget checker is compacted first — a delta
+// GC around its live memo roots that keeps the warm encodings and memo
+// state — and Reset (re-fork, delta discarded) only when live state
+// alone still exceeds the budget.
 const sessionCheckerNodeBudget = 4 << 20
 
 // defaultSessionMissingRuleCap is the per-switch cached-rule bound used
@@ -118,8 +120,14 @@ type SessionStats struct {
 	// Replayed counts switches whose cached report was replayed without
 	// re-checking.
 	Replayed int
-	// CheckerResets counts worker checkers rebuilt after their private
-	// delta exceeded the node budget.
+	// CheckerCompactions counts delta GCs on over-budget worker
+	// checkers: live memo roots kept (CompactRetained sums the delta
+	// nodes they retained), dead intermediates shed (CompactDropped).
+	CheckerCompactions int
+	CompactRetained    int
+	CompactDropped     int
+	// CheckerResets counts worker checkers rebuilt because even their
+	// compacted (all-live) delta exceeded the node budget.
 	CheckerResets int
 	// OverCap counts fresh reports too large to cache under
 	// SessionMissingRuleCap; their switches re-check on the next run.
@@ -688,22 +696,66 @@ func (s *Session) missingRuleCap() int {
 }
 
 // provisionCheckersLocked grows the persistent checker pool to n entries
-// — forks of the shared base when one exists — and rebuilds any whose
-// private delta exceeded the node budget, before the worker pool starts
-// (workers must never mutate the slice concurrently).
+// — forks of the shared base when one exists — and brings any checker
+// whose private delta exceeded the node budget back under it, before the
+// worker pool starts (workers must never mutate the slice concurrently).
+// Over-budget checkers compact first (delta GC keeping live memo state)
+// and fall back to a full Reset only when the live state alone is over
+// budget — the ROADMAP's "smarter than whole-delta Reset".
 func (s *Session) provisionCheckersLocked(n int) {
 	if s.a.opts.UseNaiveChecker {
 		return
 	}
+	budget := s.sessionNodeBudget()
 	for len(s.checkers) < n {
-		s.checkers = append(s.checkers, s.a.newWorkerCheckerFrom(s.base))
+		s.checkers = append(s.checkers, s.a.newWorkerCheckerSized(s.base, s.checkerDeltaHint(budget)))
+	}
+	if budget <= 0 {
+		return
 	}
 	for _, c := range s.checkers[:n] {
-		if c.DeltaSize() > sessionCheckerNodeBudget {
-			c.Reset()
-			s.stats.CheckerResets++
+		if c.DeltaSize() <= budget {
+			continue
 		}
+		if st, ok := c.Compact(); ok {
+			s.stats.CheckerCompactions++
+			s.stats.CompactRetained += st.Retained
+			s.stats.CompactDropped += st.Dropped
+			if c.DeltaSize() <= budget {
+				continue
+			}
+		}
+		c.Reset()
+		s.stats.CheckerResets++
 	}
+}
+
+// sessionNodeBudget resolves the configured per-checker delta budget:
+// the default when unset, no bound when negative.
+func (s *Session) sessionNodeBudget() int {
+	b := s.a.opts.SessionNodeBudget
+	if b == 0 {
+		return sessionCheckerNodeBudget
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// checkerDeltaHint derives the fork pre-sizing from the budget: a
+// fraction of it (deltas rarely fill the budget between compactions),
+// clamped so tiny budgets still get workable tables and huge ones do
+// not front-load allocation the checker may never need.
+func (s *Session) checkerDeltaHint(budget int) int {
+	h := budget / 16
+	if h < 4096 {
+		return 4096
+	}
+	if h > 1<<18 {
+		return 1 << 18
+	}
+	return h
 }
 
 // workerChecker hands worker k its persistent checker (nil in naive mode,

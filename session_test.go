@@ -710,3 +710,62 @@ func TestSessionDedupReplays(t *testing.T) {
 		t.Errorf("second run grew DedupReplays by %d", again.DedupReplays-stats.DedupReplays)
 	}
 }
+
+// TestSessionNodeBudgetCompaction pins the budget → delta-GC policy: a
+// session whose worker checkers outgrow a (deliberately tiny) node
+// budget compacts them — keeping warm memo state — rather than always
+// resetting, and its reports stay byte-identical to cold analyses
+// throughout.
+func TestSessionNodeBudgetCompaction(t *testing.T) {
+	f := faultyFabric(t, 9)
+	opts := scout.AnalyzerOptions{Workers: 1, SessionNodeBudget: 256}
+	sess, err := scout.NewSession(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := scout.NewCollector(f, 8)
+	switches := f.Topology().Switches()
+
+	for round := 0; round < 6; round++ {
+		// Dirty a different switch each round so re-checks keep adding
+		// novel delta nodes to the persistent checker.
+		removeOneRule(t, f, switches[round%len(switches)])
+		e := collector.Snapshot()
+		warm, err := sess.AnalyzeEpoch(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := scout.NewAnalyzer(opts).AnalyzeState(stateFromEpoch(f, e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, warm), marshalReport(t, cold)) {
+			t.Fatalf("round %d: warm report differs from cold analyzer under compaction", round)
+		}
+	}
+
+	st := sess.Stats()
+	if st.CheckerCompactions == 0 {
+		t.Fatalf("no compactions under a 256-node budget: %+v", st)
+	}
+	if st.CompactRetained+st.CompactDropped == 0 {
+		t.Fatalf("compactions reported no node accounting: %+v", st)
+	}
+
+	// A generous budget must trigger neither compaction nor reset.
+	f2 := faultyFabric(t, 9)
+	sess2, err := scout.NewSession(f2, scout.AnalyzerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := scout.NewCollector(f2, 8)
+	for round := 0; round < 3; round++ {
+		removeOneRule(t, f2, switches[round%len(switches)])
+		if _, err := sess2.AnalyzeEpoch(c2.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sess2.Stats(); st.CheckerCompactions != 0 || st.CheckerResets != 0 {
+		t.Fatalf("default budget intervened on a small fabric: %+v", st)
+	}
+}
