@@ -17,6 +17,7 @@ import (
 	"scout/internal/risk"
 	"scout/internal/rule"
 	"scout/internal/scenario"
+	"scout/internal/store"
 	"scout/internal/stream"
 	"scout/internal/tcam"
 	"scout/internal/topo"
@@ -343,6 +344,34 @@ type (
 
 // ParseScenario decodes and validates a JSON scenario.
 var ParseScenario = scenario.Parse
+
+// Durable warm state (cross-restart and cross-deployment BDD reuse).
+type (
+	// WarmStore is the content-addressed, write-behind warm-state store:
+	// frozen encoding bases and per-switch verdicts persisted under
+	// deployment fingerprints, restored by Sessions on construction
+	// (AnalyzerOptions.WarmStore).
+	WarmStore = store.Store
+	// BaseRegistry shares frozen whole-switch semantics BDDs across every
+	// analyzer and session handed the same registry
+	// (AnalyzerOptions.BaseRegistry).
+	BaseRegistry = store.BaseRegistry
+	// BaseRegistryStats is a BaseRegistry counter snapshot.
+	BaseRegistryStats = store.RegistryStats
+	// StoreVerdict is one persisted per-switch check verdict.
+	StoreVerdict = store.Verdict
+	// StoreGCStats summarizes one warm-store garbage-collection pass.
+	StoreGCStats = store.GCStats
+)
+
+var (
+	// OpenWarmStore opens (creating if needed) a warm-state store
+	// directory and starts its write-behind goroutine.
+	OpenWarmStore = store.Open
+	// NewBaseRegistry creates an empty cross-deployment semantics
+	// registry.
+	NewBaseRegistry = store.NewBaseRegistry
+)
 
 // Correlation.
 type (

@@ -11,6 +11,8 @@ package scout_test
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"testing"
 
@@ -668,4 +670,173 @@ func BenchmarkControllerModelBuildWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// warmBenchFabric builds the standard benchmark fabric with a small
+// fault so warm-state benchmarks exercise non-trivial verdicts.
+func warmBenchFabric(b *testing.B) *scout.Fabric {
+	b.Helper()
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(benchScale), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: 42, TCAMCapacity: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Deploy(); err != nil {
+		b.Fatal(err)
+	}
+	filters := make([]scout.ObjectID, 0, len(pol.Filters))
+	for id := range pol.Filters {
+		filters = append(filters, id)
+	}
+	sort.Slice(filters, func(i, j int) bool { return filters[i] < filters[j] })
+	if _, err := f.InjectObjectFault(scout.FilterRef(filters[0]), 1.0); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// warmStateBytes sums the on-disk size of a warm-state directory.
+func warmStateBytes(b *testing.B, dir string) int64 {
+	b.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, ent := range entries {
+		info, err := ent.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// BenchmarkWarmStartVsCold measures the tentpole's payoff: the first
+// analysis of a fresh process with a populated warm-state store (load
+// base + verdicts, replay everything) against the same first analysis
+// cold (build the base, check every switch). bytes/op reports the state
+// read off disk per warm start; bdd-nodes/op the nodes constructed per
+// run — cold rebuilds them all, warm rebuilds none.
+func BenchmarkWarmStartVsCold(b *testing.B) {
+	f := warmBenchFabric(b)
+	dir := b.TempDir()
+	seedStore, err := scout.OpenWarmStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := scout.NewSession(f, scout.AnalyzerOptions{WarmStore: seedStore})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := seedStore.Close(); err != nil {
+		b.Fatal(err)
+	}
+	stateBytes := warmStateBytes(b, dir)
+
+	b.Run("cold", func(b *testing.B) {
+		var nodes int
+		for i := 0; i < b.N; i++ {
+			sess, err := scout.NewSession(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := sess.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = rep.EncodeStats.TotalNodes()
+		}
+		b.ReportMetric(float64(nodes), "bdd-nodes/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var nodes int
+		for i := 0; i < b.N; i++ {
+			ws, err := scout.OpenWarmStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := scout.NewSession(f, scout.AnalyzerOptions{WarmStore: ws})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := sess.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := sess.Stats(); st.BaseLoads != 1 || st.Checked != 0 {
+				b.Fatalf("warm start not warm: %+v", st)
+			}
+			// The loaded base is frozen state, not constructed nodes; only
+			// checker deltas (zero on a clean replay) are built per run.
+			nodes = rep.EncodeStats.DeltaNodes
+			if err := ws.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nodes), "bdd-nodes/op")
+		b.ReportMetric(float64(stateBytes), "bytes/op")
+	})
+}
+
+// BenchmarkStoreRoundTrip measures the store codec under the write-behind
+// store: persisting the benchmark deployment's frozen base (encode +
+// atomic publish) and restoring it (verify + rebuild the open-addressed
+// unique table). bytes/op is the base file size, bdd-nodes/op the frozen
+// nodes carried per operation.
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	f := warmBenchFabric(b)
+	dir := b.TempDir()
+	ws, err := scout.OpenWarmStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ws.Close()
+	sess, err := scout.NewSession(f, scout.AnalyzerOptions{WarmStore: ws})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Analyze(); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fp := equiv.DeploymentFingerprint(f.Deployment().BySwitch)
+	base, err := ws.LoadBase(fp)
+	if err != nil || base == nil {
+		b.Fatalf("seed base missing: %v", err)
+	}
+	nodes, fileBytes := float64(base.Size()), float64(warmStateBytes(b, dir))
+
+	b.Run("save", func(b *testing.B) {
+		b.SetBytes(int64(fileBytes))
+		for i := 0; i < b.N; i++ {
+			ws.SaveBase(fp, base)
+			if err := ws.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(nodes, "bdd-nodes/op")
+	})
+	b.Run("load", func(b *testing.B) {
+		b.SetBytes(int64(fileBytes))
+		for i := 0; i < b.N; i++ {
+			got, err := ws.LoadBase(fp)
+			if err != nil || got == nil {
+				b.Fatalf("LoadBase: %v", err)
+			}
+		}
+		b.ReportMetric(nodes, "bdd-nodes/op")
+	})
 }

@@ -13,6 +13,7 @@
 //	scout-bench -experiment storm -scale 0.25
 //	scout-bench -experiment probereuse -scale 0.25
 //	scout-bench -experiment bddspeed -scale 0.25
+//	scout-bench -experiment warmstore -scale 0.25
 package main
 
 import (
@@ -53,7 +54,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|probereuse|bddspeed|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|probereuse|bddspeed|warmstore|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -260,6 +261,13 @@ func run(cfg config, w io.Writer) error {
 	if want("bddspeed") {
 		fmt.Fprintln(w, "== BDD core: open-addressed engine vs map-backed reference ==")
 		if err := runBDDSpeed(cfg, w); err != nil {
+			return err
+		}
+	}
+
+	if want("warmstore") {
+		fmt.Fprintln(w, "== Warm store: durable cross-restart BDD state ==")
+		if err := runWarmStore(cfg, w); err != nil {
 			return err
 		}
 	}
@@ -1257,5 +1265,221 @@ func runBDDSpeed(cfg config, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "\nreports byte-identical to the map-backed reference and across worker counts: true")
 	fmt.Fprintln(w, "node-construction and cache-hit counters identical across engines and repeat sweeps: true")
+	return nil
+}
+
+// runWarmStore measures durable warm state: a session persists its
+// frozen encoding base and per-switch verdicts into a content-addressed
+// store directory, and a fresh process (new store handle, new session)
+// over the unchanged fabric restores them instead of rebuilding.
+// Asserting on counters only (CI runners may be single-core):
+//
+//   - every restarted session loads exactly one base and rebuilds none,
+//     re-checks zero switches, and encodes zero matches and folds zero
+//     rule lists — the whole BDD warm state came off disk — at workers
+//     1, 2, and NumCPU;
+//   - each restarted report is byte-identical to the warm in-process
+//     report the original session produced;
+//   - a restart over a mutated fabric re-checks exactly the dirty
+//     switch and matches a cold analyzer on the same state, proving the
+//     restored cache is live, not merely replayable.
+func runWarmStore(cfg config, w io.Writer) error {
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	numSwitches := topo.NumSwitches()
+
+	// Dirty a strict subset up front so the persisted verdicts carry
+	// real missing-rule payloads, not just "equivalent" bits.
+	faulted := minInt(3, numSwitches)
+	for _, sw := range topo.Switches()[:faulted] {
+		s, err := f.Switch(sw)
+		if err != nil {
+			return err
+		}
+		rules, err := f.CollectTCAM(sw)
+		if err != nil {
+			return err
+		}
+		if len(rules) == 0 || !s.TCAM().Remove(rules[0].Key()) {
+			return fmt.Errorf("could not dirty switch %d", sw)
+		}
+	}
+	fmt.Fprintf(w, "fabric: %d switches, %d faulted before the first run\n\n", numSwitches, faulted)
+
+	dir, err := os.MkdirTemp("", "scout-warmstore-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	reportJSON := func(rep *scout.Report) ([]byte, error) {
+		rep.Elapsed = 0
+		return json.Marshal(rep)
+	}
+
+	// Original process: cold run builds and persists, a second run pins
+	// the in-process warm report the restarts must reproduce.
+	ws1, err := scout.OpenWarmStore(dir)
+	if err != nil {
+		return err
+	}
+	sess1, err := scout.NewSession(f, scout.AnalyzerOptions{Workers: cfg.workers, WarmStore: ws1})
+	if err != nil {
+		return err
+	}
+	rep, err := sess1.Analyze()
+	if err != nil {
+		return err
+	}
+	coldElapsed := rep.Elapsed
+	if st := sess1.Stats(); st.BaseRebuilds != 1 || st.Checked != numSwitches {
+		return fmt.Errorf("cold run: %d base rebuilds, %d checked, want 1 and %d", st.BaseRebuilds, st.Checked, numSwitches)
+	}
+	rep, err = sess1.Analyze()
+	if err != nil {
+		return err
+	}
+	warmElapsed := rep.Elapsed
+	if st := sess1.Stats(); st.Checked != numSwitches {
+		return fmt.Errorf("in-process warm run re-checked %d switches beyond the cold run", st.Checked-numSwitches)
+	}
+	want, err := reportJSON(rep)
+	if err != nil {
+		return err
+	}
+	if err := sess1.Close(); err != nil {
+		return err
+	}
+	if err := ws1.Close(); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var stateBytes int64
+	for _, ent := range entries {
+		if info, err := ent.Info(); err == nil {
+			stateBytes += info.Size()
+		}
+	}
+	fmt.Fprintf(w, "%-34s cold %v, warm %v, %d state files (%d KiB)\n",
+		"original process:", coldElapsed.Round(time.Microsecond), warmElapsed.Round(time.Microsecond),
+		len(entries), stateBytes/1024)
+
+	// Restarted processes: fresh store handle and session per worker
+	// count over the unchanged fabric.
+	restart := func(workers int) (*scout.Session, *scout.WarmStore, error) {
+		ws, err := scout.OpenWarmStore(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		sess, err := scout.NewSession(f, scout.AnalyzerOptions{Workers: workers, WarmStore: ws})
+		if err != nil {
+			ws.Close()
+			return nil, nil, err
+		}
+		return sess, ws, nil
+	}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		sess, ws, err := restart(workers)
+		if err != nil {
+			return err
+		}
+		rep, err := sess.Analyze()
+		if err != nil {
+			return err
+		}
+		st := sess.Stats()
+		label := fmt.Sprintf("restart (workers=%d):", workers)
+		fmt.Fprintf(w, "%-34s base loads %d / rebuilds %d, %d replayed / %d checked, %v\n",
+			label, st.BaseLoads, st.BaseRebuilds, st.Replayed, st.Checked, rep.Elapsed.Round(time.Microsecond))
+		if st.BaseLoads != 1 || st.BaseRebuilds != 0 {
+			return fmt.Errorf("%s loaded %d bases and rebuilt %d, want 1 and 0", label, st.BaseLoads, st.BaseRebuilds)
+		}
+		if st.Checked != 0 || st.Replayed != numSwitches {
+			return fmt.Errorf("%s checked %d and replayed %d switches, want 0 and %d", label, st.Checked, st.Replayed, numSwitches)
+		}
+		if st.EncodeMisses != 0 || st.FoldMisses != 0 {
+			return fmt.Errorf("%s encoded: %d match misses, %d fold misses, want none", label, st.EncodeMisses, st.FoldMisses)
+		}
+		got, err := reportJSON(rep)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("%s report differs from the warm in-process report (identity violation)", label)
+		}
+		if err := sess.Close(); err != nil {
+			return err
+		}
+		if err := ws.Close(); err != nil {
+			return err
+		}
+	}
+
+	// Dirty restart: mutate one more switch, restart, and expect exactly
+	// one re-check whose report matches a cold analyzer.
+	dirtySw := topo.Switches()[numSwitches-1]
+	s, err := f.Switch(dirtySw)
+	if err != nil {
+		return err
+	}
+	rules, err := f.CollectTCAM(dirtySw)
+	if err != nil {
+		return err
+	}
+	if len(rules) == 0 || !s.TCAM().Remove(rules[0].Key()) {
+		return fmt.Errorf("could not dirty switch %d", dirtySw)
+	}
+	sess, ws, err := restart(cfg.workers)
+	if err != nil {
+		return err
+	}
+	rep, err = sess.Analyze()
+	if err != nil {
+		return err
+	}
+	st := sess.Stats()
+	fmt.Fprintf(w, "%-34s %d replayed / %d checked, %v\n",
+		"dirty restart (1 mutated switch):", st.Replayed, st.Checked, rep.Elapsed.Round(time.Microsecond))
+	if st.Checked != 1 || st.Replayed != numSwitches-1 {
+		return fmt.Errorf("dirty restart checked %d and replayed %d switches, want 1 and %d", st.Checked, st.Replayed, numSwitches-1)
+	}
+	got, err := reportJSON(rep)
+	if err != nil {
+		return err
+	}
+	coldRep, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: cfg.workers}).Analyze(f)
+	if err != nil {
+		return err
+	}
+	coldWant, err := reportJSON(coldRep)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, coldWant) {
+		return fmt.Errorf("dirty restart report differs from cold analyzer (identity violation)")
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if err := ws.Close(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nrestarted sessions loaded one base, rebuilt none, re-checked zero switches: true")
+	fmt.Fprintln(w, "restarted sessions encoded zero matches and folded zero rule lists: true")
+	fmt.Fprintln(w, "restarted reports byte-identical to the warm in-process report at workers 1/2/NumCPU: true")
+	fmt.Fprintln(w, "dirty restart re-checked exactly the mutated switch and matched a cold analysis: true")
 	return nil
 }

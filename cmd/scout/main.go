@@ -19,6 +19,14 @@
 // deadline — and every batch triggers one partial collection and
 // incremental re-verification of only the switches its events name.
 // -scenario is a one-shot replay and cannot be combined with -watch.
+//
+// -state-dir names a durable warm-state directory: the analysis (both
+// one-shot and -watch) runs through a session that restores a
+// fingerprint-matching frozen encoding base and verdict cache on start
+// and persists its deltas write-behind, so a restarted process replays
+// an unchanged fabric without rebuilding any BDD state. -state-gc-age
+// and -state-cap bound the directory on shutdown (age-out and
+// least-recently-used eviction) and require -state-dir.
 package main
 
 import (
@@ -69,6 +77,9 @@ func run() error {
 		watch       = flag.Bool("watch", false, "drive an event-driven session daemon: full baseline, then coalesced per-batch incremental refreshes")
 		batchWindow = flag.Duration("batch-window", 2*time.Second, "watch mode: cut a pending batch after its oldest event waited this long (requires -watch)")
 		queueCap    = flag.Int("queue-cap", 64, "watch mode: distinct switches buffered before a batch is forced, and the max batch size (requires -watch)")
+		stateDir    = flag.String("state-dir", "", "durable warm-state directory: restore fingerprint-matching BDD state on start, persist deltas write-behind")
+		stateAge    = flag.Duration("state-gc-age", 0, "on shutdown, remove warm-state files unused longer than this (0 = no age bound; requires -state-dir)")
+		stateCap    = flag.Int("state-cap", 0, "on shutdown, keep at most this many warm-state files, least-recently-used evicted first (0 = no cap; requires -state-dir)")
 		jsonOut     = flag.Bool("json", false, "emit the analysis report as JSON")
 		verbose     = flag.Bool("v", false, "print per-switch details")
 	)
@@ -79,6 +90,9 @@ func run() error {
 	set := make(map[string]bool)
 	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 	if err := checkWatchFlags(*watch, set); err != nil {
+		return err
+	}
+	if err := checkStateFlags(*stateDir, set); err != nil {
 		return err
 	}
 
@@ -149,14 +163,29 @@ func run() error {
 		fmt.Printf("disconnected switch %d during a policy change\n", sw)
 	}
 
+	var warm *scout.WarmStore
+	if *stateDir != "" {
+		warm, err = scout.OpenWarmStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer warm.Close() // idempotent; the happy path closes via finishWarmStore
+	}
+	aOpts := scout.AnalyzerOptions{Workers: *workers, UseProbes: *probes, WarmStore: warm}
+
 	if *watch {
 		report, pstats, err := runWatch(f, parsed, watchOptions{
-			analyzer: scout.AnalyzerOptions{Workers: *workers, UseProbes: *probes},
+			analyzer: aOpts,
 			window:   *batchWindow,
 			queueCap: *queueCap,
 		}, os.Stdout)
 		if err != nil {
 			return err
+		}
+		if warm != nil {
+			if err := finishWarmStore(warm, *stateAge, *stateCap, os.Stdout); err != nil {
+				return err
+			}
 		}
 		return emitReport(report, pstats, *jsonOut, *verbose)
 	}
@@ -169,16 +198,58 @@ func run() error {
 		fmt.Printf("injected %s @%.2f: %d rules removed\n", flt.ref, flt.fraction, removed)
 	}
 
-	a := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: *workers, UseProbes: *probes})
-	report, err := a.Analyze(f)
-	if err != nil {
-		return err
-	}
+	var report *scout.Report
 	var pstats *scout.ProberStats
-	if ps, ok := a.ProberStats(); ok {
-		pstats = &ps
+	if warm != nil {
+		// One-shot with durable state runs through a session, whose
+		// reports are byte-identical to the analyzer's: it restores the
+		// persisted base and verdicts before the run and flushes its
+		// write-behind deltas on Close.
+		sess, err := scout.NewSession(f, aOpts)
+		if err != nil {
+			return err
+		}
+		report, err = sess.Analyze()
+		if err != nil {
+			return err
+		}
+		st := sess.Stats()
+		fmt.Printf("warm state: base loaded %d / rebuilt %d, switches replayed %d / checked %d\n",
+			st.BaseLoads, st.BaseRebuilds, st.Replayed, st.Checked)
+		if ps, ok := sess.ProberStats(); ok {
+			pstats = &ps
+		}
+		if err := sess.Close(); err != nil {
+			return err
+		}
+		if err := finishWarmStore(warm, *stateAge, *stateCap, os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		a := scout.NewAnalyzer(aOpts)
+		report, err = a.Analyze(f)
+		if err != nil {
+			return err
+		}
+		if ps, ok := a.ProberStats(); ok {
+			pstats = &ps
+		}
 	}
 	return emitReport(report, pstats, *jsonOut, *verbose)
+}
+
+// finishWarmStore runs the configured shutdown GC over the warm-state
+// directory and closes the store, surfacing any write-behind
+// persistence error the run accumulated.
+func finishWarmStore(warm *scout.WarmStore, age time.Duration, maxFiles int, w io.Writer) error {
+	if age > 0 || maxFiles > 0 {
+		st, err := warm.GC(age, maxFiles)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "warm-state gc: kept %d files, removed %d\n", st.Kept, st.Removed)
+	}
+	return warm.Close()
 }
 
 // emitReport renders the final analysis report (shared by the one-shot and
@@ -248,6 +319,21 @@ func checkWatchFlags(watch bool, set map[string]bool) error {
 	for _, name := range []string{"batch-window", "queue-cap"} {
 		if set[name] {
 			return fmt.Errorf("-%s only applies to the -watch daemon loop; add -watch or drop the flag", name)
+		}
+	}
+	return nil
+}
+
+// checkStateFlags rejects the warm-state GC knobs without a warm-state
+// directory to bound: they silently do nothing otherwise. set holds the
+// names of explicitly-set flags.
+func checkStateFlags(stateDir string, set map[string]bool) error {
+	if stateDir != "" {
+		return nil
+	}
+	for _, name := range []string{"state-gc-age", "state-cap"} {
+		if set[name] {
+			return fmt.Errorf("-%s bounds the -state-dir directory; add -state-dir or drop the flag", name)
 		}
 	}
 	return nil

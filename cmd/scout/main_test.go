@@ -235,3 +235,30 @@ func TestCheckWatchFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckStateFlags pins the warm-state flag rules: the GC bounds are
+// meaningless without a directory to bound and must fail loudly.
+func TestCheckStateFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		stateDir string
+		set      []string
+		wantErr  bool
+	}{
+		{"no state flags", "", nil, false},
+		{"state-dir alone", "/tmp/warm", []string{"state-dir"}, false},
+		{"state-dir with both bounds", "/tmp/warm", []string{"state-dir", "state-gc-age", "state-cap"}, false},
+		{"gc-age without state-dir", "", []string{"state-gc-age"}, true},
+		{"cap without state-dir", "", []string{"state-cap"}, true},
+	}
+	for _, tt := range tests {
+		set := make(map[string]bool, len(tt.set))
+		for _, name := range tt.set {
+			set[name] = true
+		}
+		err := checkStateFlags(tt.stateDir, set)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%s: checkStateFlags = %v, wantErr %v", tt.name, err, tt.wantErr)
+		}
+	}
+}

@@ -49,39 +49,8 @@ type Base struct {
 // a fingerprint tiebreak); within one process any order yields an
 // equivalent base.
 func NewBase(matches []rule.Match, semantics ...[]rule.Rule) *Base {
-	m := bdd.NewManager(NumVars)
-	mem := make(map[rule.Match]bdd.Node, len(matches))
-	encode := func(match rule.Match) (bdd.Node, error) {
-		if n, ok := mem[match]; ok {
-			return n, nil
-		}
-		n, err := buildMatchBDD(m, match)
-		if err != nil {
-			return bdd.False, err
-		}
-		mem[match] = n
-		return n, nil
-	}
-	for _, match := range matches {
-		// Unencodable matches are skipped: the base is a cache.
-		_, _ = encode(match)
-	}
-	semMem := make(map[uint64]semRoot, len(semantics))
-	for _, rules := range semantics {
-		fp := SemanticsFingerprint(rules)
-		if _, ok := semMem[fp]; ok {
-			// Duplicate list, or — vanishingly rarely — a colliding one;
-			// either way the first owner keeps the slot and a colliding
-			// list simply folds in the forks (hits verify the list).
-			continue
-		}
-		root, err := foldSemantics(m, encode, rules)
-		if err != nil {
-			continue
-		}
-		semMem[fp] = semRoot{rules: rules, node: root}
-	}
-	return &Base{snap: m.Freeze(), matchMem: mem, semMem: semMem}
+	b, _ := NewBaseWith(nil, matches, semantics...)
+	return b
 }
 
 // NewChecker forks the base: the returned checker resolves every warmed

@@ -1,0 +1,114 @@
+// BaseRegistry: the resident cross-deployment semantics cache. Every
+// frozen base registered with it publishes its whole-switch semantics
+// roots keyed by canonical semantics fingerprint; a base built
+// afterwards — for any deployment, in any session sharing the registry
+// — resolves lists it has in common and grafts the donor's frozen BDD
+// instead of re-folding it. This generalizes the in-process semantics
+// dedup of one deployment's base across deployments: tenants whose
+// switches share rule-list semantics build each distinct semantics BDD
+// once process-wide. Hits are verified against the donor's canonical
+// rule list (equiv.SemanticsEqual), so a 64-bit fingerprint collision
+// falls through to a private fold, never a wrong root — the same
+// collision-proofing the per-deployment memos use.
+
+package store
+
+import (
+	"sync"
+
+	"scout/internal/bdd"
+	"scout/internal/equiv"
+	"scout/internal/rule"
+)
+
+// registryEntry is one published semantics root: the donor base's
+// frozen snapshot, the canonical rule list for verification, and the
+// root node within that snapshot.
+type registryEntry struct {
+	snap  *bdd.Snapshot
+	rules []rule.Rule
+	root  bdd.Node
+}
+
+// BaseRegistry shares frozen whole-switch semantics BDDs across bases.
+// It implements equiv.SemanticsSource. Safe for concurrent use; the
+// zero value is not usable — construct with NewBaseRegistry.
+type BaseRegistry struct {
+	mu      sync.RWMutex
+	entries map[uint64]registryEntry
+
+	hits       int
+	misses     int
+	collisions int
+}
+
+// NewBaseRegistry creates an empty registry.
+func NewBaseRegistry() *BaseRegistry {
+	return &BaseRegistry{entries: make(map[uint64]registryEntry)}
+}
+
+// ResolveSemantics implements equiv.SemanticsSource: it returns the
+// donor snapshot and root registered for a rule list canonically equal
+// to rules, after verifying the canonical lists actually agree.
+func (r *BaseRegistry) ResolveSemantics(fp uint64, rules []rule.Rule) (*bdd.Snapshot, bdd.Node, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[fp]
+	r.mu.RUnlock()
+	verified := ok && equiv.SemanticsEqual(e.rules, rules)
+	r.mu.Lock()
+	switch {
+	case verified:
+		r.hits++
+	case ok:
+		r.collisions++
+	default:
+		r.misses++
+	}
+	r.mu.Unlock()
+	if !verified {
+		return nil, 0, false
+	}
+	return e.snap, e.root, true
+}
+
+// RegisterBase publishes a frozen base's semantics roots. First owner
+// wins per fingerprint: an already-registered key is left alone, so
+// donors stay stable while their snapshot is shared. Registering the
+// same base again is a no-op.
+func (r *BaseRegistry) RegisterBase(b *equiv.Base) {
+	if b == nil {
+		return
+	}
+	snap := b.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b.ForEachSemantics(func(fp uint64, rules []rule.Rule, root bdd.Node) {
+		if _, ok := r.entries[fp]; !ok {
+			r.entries[fp] = registryEntry{snap: snap, rules: rules, root: root}
+		}
+	})
+}
+
+// RegistryStats is a point-in-time counter snapshot.
+type RegistryStats struct {
+	// Entries is the number of distinct semantics roots published.
+	Entries int
+	// Hits are verified resolutions (a graft happened); Misses are
+	// lookups with no entry; Collisions are fingerprint matches whose
+	// canonical lists disagreed and fell through to a private fold.
+	Hits       int
+	Misses     int
+	Collisions int
+}
+
+// Stats returns the registry's cumulative counters.
+func (r *BaseRegistry) Stats() RegistryStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return RegistryStats{
+		Entries:    len(r.entries),
+		Hits:       r.hits,
+		Misses:     r.misses,
+		Collisions: r.collisions,
+	}
+}

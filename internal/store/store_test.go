@@ -1,0 +1,488 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"scout/internal/bdd"
+	"scout/internal/equiv"
+	"scout/internal/object"
+	"scout/internal/rule"
+)
+
+// testRules builds a deterministic pseudo-random rule list whose IDs all
+// fit the BDD encoding's bit widths.
+func testRules(rng *rand.Rand, n int) []rule.Rule {
+	rules := make([]rule.Rule, n)
+	for i := range rules {
+		m := rule.Match{
+			VRF:    object.ID(rng.Intn(1 << 10)),
+			SrcEPG: object.ID(rng.Intn(1 << 12)),
+			DstEPG: object.ID(rng.Intn(1 << 12)),
+			Proto:  rule.Protocol(rng.Intn(256)),
+		}
+		lo := uint16(rng.Intn(rule.PortMax))
+		m.PortLo, m.PortHi = lo, lo+uint16(rng.Intn(int(rule.PortMax)-int(lo)+1))
+		switch rng.Intn(4) {
+		case 0:
+			m.WildcardVRF = true
+		case 1:
+			m.WildcardSrc = true
+		case 2:
+			m.WildcardDst = true
+		}
+		r := rule.Rule{Match: m, Action: rule.Allow, Priority: rng.Intn(100) - 50}
+		if rng.Intn(2) == 0 {
+			r.Action = rule.Deny
+		}
+		if rng.Intn(3) == 0 {
+			r.Provenance = []object.Ref{
+				object.Filter(object.ID(rng.Intn(1000))),
+				object.Contract(object.ID(rng.Intn(1000))),
+			}
+		}
+		rules[i] = r
+	}
+	return rules
+}
+
+func collectMatches(lists ...[]rule.Rule) []rule.Match {
+	set := make(map[rule.Match]struct{})
+	for _, l := range lists {
+		equiv.CollectMatches(set, l)
+	}
+	matches := make([]rule.Match, 0, len(set))
+	for m := range set {
+		matches = append(matches, m)
+	}
+	equiv.SortMatches(matches)
+	return matches
+}
+
+func testBase(t *testing.T, seed int64) (*equiv.Base, [][]rule.Rule) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	listA := testRules(rng, 40)
+	listB := testRules(rng, 25)
+	base := equiv.NewBase(collectMatches(listA, listB), listA, listB)
+	if base.NumMatches() == 0 || base.NumSemantics() != 2 {
+		t.Fatalf("unexpected test base: %d matches, %d semantics", base.NumMatches(), base.NumSemantics())
+	}
+	return base, [][]rule.Rule{listA, listB}
+}
+
+// snapshotsEqual compares two frozen snapshots node for node.
+func snapshotsEqual(t *testing.T, a, b *bdd.Snapshot) {
+	t.Helper()
+	if a.NumVars() != b.NumVars() || a.Size() != b.Size() {
+		t.Fatalf("snapshot shape: %d vars/%d nodes vs %d vars/%d nodes",
+			a.NumVars(), a.Size(), b.NumVars(), b.Size())
+	}
+	for i := 2; i < a.Size(); i++ {
+		al, alo, ahi := a.NodeAt(i)
+		bl, blo, bhi := b.NodeAt(i)
+		if al != bl || alo != blo || ahi != bhi {
+			t.Fatalf("node %d: (%d,%d,%d) vs (%d,%d,%d)", i, al, alo, ahi, bl, blo, bhi)
+		}
+	}
+}
+
+// TestBaseCodecRoundTrip pins the tentpole's identity property: a
+// decoded base is node-for-node the encoder's base — same snapshot, same
+// memo bindings, same Eval and SatCount behaviour against a live
+// manager — so a warm restart replays the exact BDD state, not an
+// approximation of it.
+func TestBaseCodecRoundTrip(t *testing.T) {
+	base, _ := testBase(t, 1)
+	const depFP = 0xfeedface12345678
+	data := encodeBase(depFP, base)
+	got, err := decodeBase(data, depFP)
+	if err != nil {
+		t.Fatalf("decodeBase: %v", err)
+	}
+
+	snapshotsEqual(t, base.Snapshot(), got.Snapshot())
+
+	// Memo bindings: identical node IDs for every match and semantics
+	// fingerprint.
+	wantMatch := make(map[rule.Match]bdd.Node)
+	base.ForEachMatch(func(m rule.Match, n bdd.Node) { wantMatch[m] = n })
+	gotMatch := make(map[rule.Match]bdd.Node)
+	got.ForEachMatch(func(m rule.Match, n bdd.Node) { gotMatch[m] = n })
+	if !reflect.DeepEqual(wantMatch, gotMatch) {
+		t.Fatalf("match memo mismatch: %d vs %d entries", len(wantMatch), len(gotMatch))
+	}
+	wantSem := make(map[uint64]bdd.Node)
+	base.ForEachSemantics(func(fp uint64, _ []rule.Rule, root bdd.Node) { wantSem[fp] = root })
+	gotSem := make(map[uint64]bdd.Node)
+	roots := make([]bdd.Node, 0, 2)
+	got.ForEachSemantics(func(fp uint64, rules []rule.Rule, root bdd.Node) {
+		gotSem[fp] = root
+		roots = append(roots, root)
+		if fp != equiv.SemanticsFingerprint(rules) {
+			t.Fatalf("semantics fp %#x does not match decoded rules", fp)
+		}
+	})
+	if !reflect.DeepEqual(wantSem, gotSem) {
+		t.Fatalf("semantics memo mismatch: %v vs %v", wantSem, gotSem)
+	}
+
+	// Behavioural identity against live managers: Eval on random
+	// assignments and exact SatCount for every frozen root.
+	wantM := bdd.NewManagerFrom(base.Snapshot())
+	gotM := bdd.NewManagerFrom(got.Snapshot())
+	rng := rand.New(rand.NewSource(2))
+	assignment := make([]bool, equiv.NumVars)
+	for _, root := range roots {
+		if w, g := wantM.SatCount(root), gotM.SatCount(root); w != g {
+			t.Fatalf("SatCount(%d): %v vs %v", root, w, g)
+		}
+		for trial := 0; trial < 64; trial++ {
+			for i := range assignment {
+				assignment[i] = rng.Intn(2) == 1
+			}
+			if w, g := base.Snapshot().Eval(root, assignment), got.Snapshot().Eval(root, assignment); w != g {
+				t.Fatalf("Eval(%d) diverged on trial %d: %v vs %v", root, trial, w, g)
+			}
+		}
+	}
+
+	// Determinism: re-encoding either side yields the same bytes.
+	if again := encodeBase(depFP, got); !reflect.DeepEqual(data, again) {
+		t.Fatal("re-encoding the decoded base changed the bytes")
+	}
+}
+
+// TestBaseCodecRejectsDamage walks the rejection surface: every
+// truncation and every single-bit flip must fail verification (checksum
+// or structural validation) — a damaged file is never loaded partially.
+func TestBaseCodecRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	list := testRules(rng, 6)
+	base := equiv.NewBase(collectMatches(list), list)
+	const depFP = 0x0123456789abcdef
+	data := encodeBase(depFP, base)
+
+	for _, n := range []int{0, 1, frameOverhead - 1, frameOverhead, len(data) / 2, len(data) - 1} {
+		if _, err := decodeBase(data[:n], depFP); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 1 << (i % 8)
+		if _, err := decodeBase(corrupt, depFP); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	if _, err := decodeBase(data, depFP+1); err == nil {
+		t.Fatal("wrong content key accepted")
+	}
+}
+
+// TestCodecRejectsVersionMismatch pins that a well-formed file from
+// another codec revision is rejected on its header — distinctly from
+// corruption — even though its checksum is valid.
+func TestCodecRejectsVersionMismatch(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	data := seal(baseMagic, 42, payload)
+	// Re-seal by hand with a bumped version and a recomputed checksum.
+	forged := append([]byte(nil), data[:len(data)-8]...)
+	forged[4] = codecVersion + 1
+	forged = seal(baseMagic, 42, forged[16:])
+	forged[4] = codecVersion + 1
+	// Fix the checksum over the altered header.
+	e := encoder{buf: forged[:len(forged)-8]}
+	body := append([]byte(nil), e.buf...)
+	h := fnvSum(body)
+	forged = forged[:len(forged)-8]
+	forged = appendU64(forged, h)
+
+	if _, err := open(forged, baseMagic, 42); err == nil {
+		t.Fatal("version-mismatched file accepted")
+	} else if got := err.Error(); !containsAll(got, "version") {
+		t.Fatalf("want a version error, got %q", got)
+	}
+	// Wrong magic is rejected before anything else.
+	if _, err := open(seal(verdictMagic, 42, payload), baseMagic, 42); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func fnvSum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+// TestVerdictCodecRoundTrip pins verdict round-trip fidelity, including
+// the nil-vs-empty rule slice distinction JSON report identity depends
+// on, and the canonical (switch-sorted) encoding order.
+func TestVerdictCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := []Verdict{
+		{
+			Switch: 7, LogicalFP: 11, TCAMFP: 12,
+			Report: &equiv.Report{Equivalent: true},
+		},
+		{
+			Switch: 3, LogicalFP: 21, TCAMFP: 22,
+			Report: &equiv.Report{MissingRules: testRules(rng, 5), ExtraRules: []rule.Rule{}},
+		},
+		{
+			Switch: 5, LogicalFP: 31, TCAMFP: 32,
+			Report: &equiv.Report{ExtraRules: testRules(rng, 3)},
+		},
+	}
+	const depFP = 0xdeadbeef
+	data := encodeVerdicts(depFP, vs)
+	got, err := decodeVerdicts(data, depFP)
+	if err != nil {
+		t.Fatalf("decodeVerdicts: %v", err)
+	}
+	want := []Verdict{vs[1], vs[2], vs[0]} // switch-sorted
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	// Nil-vs-empty survived explicitly.
+	if got[0].Report.MissingRules == nil || got[0].Report.ExtraRules == nil {
+		t.Fatal("empty rule slices decoded as nil")
+	}
+	if got[2].Report.MissingRules != nil || got[2].Report.ExtraRules != nil {
+		t.Fatal("nil rule slices decoded as non-nil")
+	}
+	// Input order does not change the bytes.
+	shuffled := []Verdict{vs[2], vs[0], vs[1]}
+	if again := encodeVerdicts(depFP, shuffled); !reflect.DeepEqual(data, again) {
+		t.Fatal("encoding is sensitive to input order")
+	}
+	for _, n := range []int{frameOverhead, len(data) - 2} {
+		if _, err := decodeVerdicts(data[:n], depFP); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestStoreSaveLoad exercises the write-behind path end to end: save,
+// flush, reload — plus absence mapping to (nil, nil), corruption
+// mapping to an error, and saves after Close being dropped.
+func TestStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	base, _ := testBase(t, 5)
+	const depFP = 0xabc
+	s.SaveBase(depFP, base)
+	s.SaveVerdicts(depFP, false, []Verdict{
+		{Switch: 1, LogicalFP: 2, TCAMFP: 3, Report: &equiv.Report{Equivalent: true}},
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	got, err := s.LoadBase(depFP)
+	if err != nil || got == nil {
+		t.Fatalf("LoadBase: %v, %v", got, err)
+	}
+	snapshotsEqual(t, base.Snapshot(), got.Snapshot())
+	vs, err := s.LoadVerdicts(depFP, false)
+	if err != nil || len(vs) != 1 || vs[0].Switch != 1 || !vs[0].Report.Equivalent {
+		t.Fatalf("LoadVerdicts: %+v, %v", vs, err)
+	}
+
+	// Absence is (nil, nil) for both kinds, and for the other mode's file.
+	if b, err := s.LoadBase(depFP + 1); b != nil || err != nil {
+		t.Fatalf("missing base: %v, %v", b, err)
+	}
+	if v, err := s.LoadVerdicts(depFP, true); v != nil || err != nil {
+		t.Fatalf("missing probe verdicts: %v, %v", v, err)
+	}
+
+	// A corrupted file is an error, not a partial load.
+	path := filepath.Join(dir, baseFileName(depFP))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadBase(depFP); err == nil {
+		t.Fatal("corrupted base loaded")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s.SaveBase(depFP+9, base) // dropped after Close
+	if _, err := os.Stat(filepath.Join(dir, baseFileName(depFP+9))); !os.IsNotExist(err) {
+		t.Fatal("save after Close was persisted")
+	}
+}
+
+// TestStoreGC pins the hygiene satellite: the age bound removes stale
+// files, the count bound evicts least-recently-used beyond the cap, and
+// foreign files in the directory are never touched.
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base, _ := testBase(t, 6)
+	for fp := uint64(1); fp <= 4; fp++ {
+		s.SaveBase(fp, base)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("not a store file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age files 1 and 2 beyond the bound; 2 is then "used" (loaded),
+	// which refreshes its mtime and must rescue it from the age GC.
+	old := time.Now().Add(-2 * time.Hour)
+	for fp := uint64(1); fp <= 2; fp++ {
+		if err := os.Chtimes(filepath.Join(dir, baseFileName(fp)), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.LoadBase(2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.GC(time.Hour, 0)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if st.Removed != 1 || st.Kept != 3 {
+		t.Fatalf("age GC: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, baseFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("stale file survived age GC")
+	}
+
+	// LRU bound: cap at 2 files, oldest goes first.
+	older := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(filepath.Join(dir, baseFileName(3)), older, older); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.GC(0, 2)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if st.Removed != 1 || st.Kept != 2 {
+		t.Fatalf("LRU GC: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, baseFileName(3))); !os.IsNotExist(err) {
+		t.Fatal("LRU GC kept the oldest file")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("GC touched a foreign file")
+	}
+}
+
+// TestRegistrySharing pins cross-deployment sharing: a second base over
+// a canonically equal rule list grafts the registered root instead of
+// folding, and the graft is behaviourally identical.
+func TestRegistrySharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	list := testRules(rng, 30)
+	reg := NewBaseRegistry()
+
+	donor, stats := equiv.NewBaseWith(reg, collectMatches(list), list)
+	if stats.SemGrafts != 0 || stats.SemFolds != 1 {
+		t.Fatalf("donor build: %+v", stats)
+	}
+	reg.RegisterBase(donor)
+	if st := reg.Stats(); st.Entries != 1 || st.Misses != 1 {
+		t.Fatalf("after donor: %+v", st)
+	}
+
+	grafted, stats := equiv.NewBaseWith(reg, collectMatches(list), list)
+	if stats.SemGrafts != 1 || stats.SemFolds != 0 {
+		t.Fatalf("grafted build: %+v", stats)
+	}
+	if st := reg.Stats(); st.Hits != 1 {
+		t.Fatalf("after graft: %+v", st)
+	}
+
+	var wantRoot, gotRoot bdd.Node
+	donor.ForEachSemantics(func(_ uint64, _ []rule.Rule, root bdd.Node) { wantRoot = root })
+	grafted.ForEachSemantics(func(_ uint64, _ []rule.Rule, root bdd.Node) { gotRoot = root })
+	wantM := bdd.NewManagerFrom(donor.Snapshot())
+	gotM := bdd.NewManagerFrom(grafted.Snapshot())
+	if w, g := wantM.SatCount(wantRoot), gotM.SatCount(gotRoot); w != g {
+		t.Fatalf("grafted root SatCount %v, donor %v", g, w)
+	}
+}
+
+// TestRegistryCollisionFallsThrough pins the collision-proofing: a
+// fingerprint hit whose canonical rule list disagrees is rejected —
+// counted as a collision — and the consumer folds privately, never
+// grafting a wrong root.
+func TestRegistryCollisionFallsThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	listA := testRules(rng, 20)
+	listB := testRules(rng, 20)
+	if equiv.SemanticsEqual(listA, listB) {
+		t.Fatal("test lists should differ")
+	}
+	reg := NewBaseRegistry()
+	donor := equiv.NewBase(collectMatches(listA), listA)
+	var donorRoot bdd.Node
+	donor.ForEachSemantics(func(_ uint64, _ []rule.Rule, root bdd.Node) { donorRoot = root })
+
+	// Forge a collision: publish listA's entry under listB's fingerprint.
+	fpB := equiv.SemanticsFingerprint(listB)
+	reg.mu.Lock()
+	reg.entries[fpB] = registryEntry{snap: donor.Snapshot(), rules: listA, root: donorRoot}
+	reg.mu.Unlock()
+
+	if _, _, ok := reg.ResolveSemantics(fpB, listB); ok {
+		t.Fatal("collision resolved as a hit")
+	}
+	_, stats := equiv.NewBaseWith(reg, collectMatches(listB), listB)
+	if stats.SemGrafts != 0 || stats.SemFolds != 1 {
+		t.Fatalf("collision build grafted: %+v", stats)
+	}
+	if st := reg.Stats(); st.Collisions != 2 || st.Hits != 0 {
+		t.Fatalf("collision counters: %+v", st)
+	}
+}

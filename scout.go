@@ -43,6 +43,7 @@ import (
 	"scout/internal/probe"
 	"scout/internal/risk"
 	"scout/internal/rule"
+	"scout/internal/store"
 )
 
 // AnalyzerOptions tunes the end-to-end analysis.
@@ -107,6 +108,26 @@ type AnalyzerOptions struct {
 	// (4 << 20); negative disables the bound. One-shot Analyzers ignore
 	// it — their checkers live for a single run.
 	SessionNodeBudget int
+
+	// WarmStore, when set, gives Sessions durable warm state: on the
+	// first run of a deployment the session loads a fingerprint-matching
+	// frozen base and verdict cache from the store (a fresh process
+	// replays a clean fabric with zero encodes), and after every run it
+	// persists deltas through the store's write-behind queue (flushed by
+	// Session.Close). It applies to the shared-base checker modes — the
+	// default TCAM pipeline and probe sessions (verdicts only) — and is
+	// ignored with UseNaiveChecker or PrivateCheckers, which have no
+	// durable BDD state worth keeping. One-shot Analyzers ignore it.
+	WarmStore *store.Store
+
+	// BaseRegistry, when set, shares frozen whole-switch semantics BDDs
+	// across every analyzer and session handed the same registry: a base
+	// build resolves rule lists another deployment's base already froze
+	// and grafts the donor BDD instead of re-folding it (verified
+	// against the donor's canonical list, so fingerprint collisions fall
+	// through to a private fold). Opt-in so ablation baselines keep
+	// measuring unshared work.
+	BaseRegistry *store.BaseRegistry
 }
 
 // Analyzer runs the SCOUT pipeline against a fabric.
@@ -255,7 +276,8 @@ func (a *Analyzer) AnalyzeState(st State) (*Report, error) {
 	}
 	st = st.withDefaultLogs()
 	switches := st.sortedSwitches()
-	pool := a.newCheckerPool(a.buildSharedBase(st.Deployment), a.workers(len(switches)))
+	base, _ := a.buildSharedBase(st.Deployment)
+	pool := a.newCheckerPool(base, a.workers(len(switches)))
 	check := func(c *equiv.Checker, sw object.ID) (*equiv.Report, error) {
 		return a.checkState(st, c, sw)
 	}
@@ -423,9 +445,9 @@ const baseSemanticsTopK = 1024
 // A cold one-shot analysis on a many-core box pays a slice of its fold
 // work serially; the foldshare experiment pins the payoff on node
 // counters, which is what survives any core count.
-func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
+func (a *Analyzer) buildSharedBase(d *Deployment) (*equiv.Base, equiv.BaseBuildStats) {
 	if a.opts.UseNaiveChecker || a.opts.UseProbes || a.opts.PrivateCheckers {
-		return nil
+		return nil, equiv.BaseBuildStats{}
 	}
 	switches := make([]object.ID, 0, len(d.BySwitch))
 	for sw := range d.BySwitch {
@@ -485,7 +507,20 @@ func (a *Analyzer) buildSharedBase(d *Deployment) *equiv.Base {
 	for i, g := range groups {
 		lists[i] = d.BySwitch[switches[g.rep]]
 	}
-	return equiv.NewBase(matches, lists...)
+	// A shared BaseRegistry lets this build graft whole-switch semantics
+	// BDDs another deployment's base already froze (collision-verified
+	// against the donor's canonical list), then publishes this base's
+	// roots for later builds. The typed-nil guard keeps the interface nil
+	// when no registry was configured.
+	var src equiv.SemanticsSource
+	if a.opts.BaseRegistry != nil {
+		src = a.opts.BaseRegistry
+	}
+	base, bstats := equiv.NewBaseWith(src, matches, lists...)
+	if a.opts.BaseRegistry != nil {
+		a.opts.BaseRegistry.RegisterBase(base)
+	}
+	return base, bstats
 }
 
 // dedupEnabled reports whether whole-switch check dedup applies. It

@@ -13,6 +13,7 @@ import (
 	"scout/internal/probe"
 	"scout/internal/risk"
 	"scout/internal/rule"
+	"scout/internal/store"
 )
 
 // sessionCheckerNodeBudget bounds how many BDD nodes a session worker
@@ -92,7 +93,26 @@ type Session struct {
 	// next epoch can skip even fingerprint hashing.
 	lastEpoch *collect.Epoch
 
+	// loadedVerdicts records which warm-store verdict files have already
+	// seeded this session's caches, so each (deployment fingerprint,
+	// mode) pair is read at most once per session — later runs of the
+	// same deployment trust the in-memory cache, which is a superset.
+	loadedVerdicts map[verdictLoadKey]struct{}
+
+	// probeStoreDep/probeStoreFP cache the deployment fingerprint probe
+	// rounds key their warm-store files by (probe mode has no shared base
+	// and therefore no baseFP to reuse); pointer identity skips the hash.
+	probeStoreDep *compile.Deployment
+	probeStoreFP  uint64
+
 	stats SessionStats
+}
+
+// verdictLoadKey identifies one warm-store verdict file: the deployment
+// fingerprint plus which per-switch cache (check vs probe) it feeds.
+type verdictLoadKey struct {
+	fp    uint64
+	probe bool
 }
 
 // switchCheckState is one switch's cached check outcome: the report and
@@ -137,6 +157,16 @@ type SessionStats struct {
 	// A rebuild refreshes the frozen semantics cache along with the
 	// match memo — both live in the base and share its lifecycle.
 	BaseRebuilds int
+	// BaseLoads counts shared bases restored from the warm store instead
+	// of built: a warm restart of a clean fabric shows BaseLoads 1,
+	// BaseRebuilds 0, and zero encode or fold misses.
+	BaseLoads int
+	// BaseSemGrafts and BaseSemFolds split each base build's whole-switch
+	// semantics work: roots grafted from the shared BaseRegistry (another
+	// deployment's base already froze a canonically equal list) versus
+	// folded from scratch. Both zero when bases load from the warm store.
+	BaseSemGrafts int
+	BaseSemFolds  int
 	// BaseNodes and DeltaNodes are gauges refreshed after every run: the
 	// frozen shared base's node count and the sum of the worker
 	// checkers' private deltas. BaseSemantics is the number of
@@ -191,10 +221,11 @@ type SessionStats struct {
 // collected TCAM snapshots, which probe mode by definition does not use.
 func NewSession(f *fabric.Fabric, opts ...AnalyzerOptions) (*Session, error) {
 	return &Session{
-		a:          NewAnalyzer(opts...),
-		f:          f,
-		cache:      make(map[object.ID]*switchCheckState),
-		probeCache: make(map[object.ID]*switchCheckState),
+		a:              NewAnalyzer(opts...),
+		f:              f,
+		cache:          make(map[object.ID]*switchCheckState),
+		probeCache:     make(map[object.ID]*switchCheckState),
+		loadedVerdicts: make(map[verdictLoadKey]struct{}),
 	}, nil
 }
 
@@ -238,6 +269,7 @@ func (s *Session) errProbeSession(entry string) error {
 func (s *Session) analyzeProbesLocked(d *compile.Deployment) (*Report, error) {
 	start := time.Now()
 	ctrlModel := s.controllerModelLocked(d)
+	s.ensureProbeStoreLocked(d)
 	prober := s.a.proberFor(d)
 	before := prober.Stats()
 	switches := sortSwitches(s.f.Topology().Switches())
@@ -313,7 +345,27 @@ func (s *Session) analyzeProbesLocked(d *compile.Deployment) (*Report, error) {
 	s.stats.ProbeSwitchesClassified += len(dirty)
 	s.stats.ProbeSwitchesReplayed += len(switches) - len(dirty)
 	s.stats.ProbePacketsBatched += after.BatchedPackets - before.BatchedPackets
+	if s.a.opts.WarmStore != nil && len(dirty) > 0 {
+		s.saveVerdictsLocked(s.probeStoreFP, true)
+	}
 	return rep, nil
+}
+
+// ensureProbeStoreLocked keeps the probe rounds' warm-store key — the
+// deployment fingerprint — in step with the deployment (pointer identity
+// skips the hash) and seeds the probe cache from persisted verdicts the
+// first time each fingerprint is seen. Probe mode has no shared base, so
+// durable state is verdicts only; a restarted probe session replays a
+// fingerprint-clean fabric with zero Classify calls.
+func (s *Session) ensureProbeStoreLocked(d *compile.Deployment) {
+	if s.a.opts.WarmStore == nil {
+		return
+	}
+	if d != s.probeStoreDep {
+		s.probeStoreFP = equiv.DeploymentFingerprint(d.BySwitch)
+		s.probeStoreDep = d
+	}
+	s.seedVerdictsLocked(s.probeStoreFP, true)
 }
 
 // AnalyzeEpoch analyzes one collector epoch against the fabric's current
@@ -483,6 +535,21 @@ func (s *Session) Reset() {
 	s.lastEpoch = nil
 }
 
+// Close flushes the session's pending warm-state writes and reports the
+// first persistence error. The warm store itself is shared — many
+// sessions (and a registry) may feed one — so Close does not close it;
+// the store's owner does, once, when the process winds down. A session
+// without a WarmStore has nothing to flush and Close is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	ws := s.a.opts.WarmStore
+	s.mu.Unlock()
+	if ws == nil {
+		return nil
+	}
+	return ws.Flush()
+}
+
 // Stats returns the session's cumulative cache statistics.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
@@ -612,6 +679,15 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 		s.stats.FoldHits += encAfter.foldHits - encBefore.foldHits
 		s.stats.FoldMisses += encAfter.foldMisses - encBefore.foldMisses
 	}
+	// Persist the refreshed verdict cache write-behind. Gated on the
+	// shared-base mode (base non-nil and in step with this deployment):
+	// naive and private-checker sessions have no deployment fingerprint
+	// on hand, and their runs are ablation baselines that should not grow
+	// durable state. A run that re-checked nothing changed no verdicts.
+	if ws := s.a.opts.WarmStore; ws != nil && len(dirty) > 0 &&
+		s.base != nil && st.Deployment == s.baseDeployment {
+		s.saveVerdictsLocked(s.baseFP, false)
+	}
 	return rep, nil
 }
 
@@ -658,12 +734,100 @@ func (s *Session) ensureBaseLocked(d *compile.Deployment) map[object.ID]uint64 {
 		s.baseDeployment = d
 		return perSwitch
 	}
-	s.base = s.a.buildSharedBase(d)
+	if ws := s.a.opts.WarmStore; ws != nil {
+		// Warm restart: restore a fingerprint-matching frozen base from
+		// the store before building one — the loaded base carries every
+		// match encoding and semantics root the previous process froze,
+		// so a clean fabric replays with zero encodes. A missing or
+		// unverifiable file is just a cold start. Rebinding re-points the
+		// collision-verification rule references at this deployment's
+		// slices, releasing the decoded copies.
+		if b, err := ws.LoadBase(fp); err == nil && b != nil {
+			b.RebindSemantics(d.BySwitch)
+			s.base = b
+			s.baseFP = fp
+			s.baseDeployment = d
+			s.checkers = nil
+			s.stats.BaseLoads++
+			if reg := s.a.opts.BaseRegistry; reg != nil {
+				reg.RegisterBase(b)
+			}
+			s.seedVerdictsLocked(fp, false)
+			return perSwitch
+		}
+	}
+	base, bstats := s.a.buildSharedBase(d)
+	s.base = base
 	s.baseFP = fp
 	s.baseDeployment = d
 	s.checkers = nil
 	s.stats.BaseRebuilds++
+	s.stats.BaseSemGrafts += bstats.SemGrafts
+	s.stats.BaseSemFolds += bstats.SemFolds
+	if ws := s.a.opts.WarmStore; ws != nil && base != nil {
+		ws.SaveBase(fp, base)
+		s.seedVerdictsLocked(fp, false)
+	}
 	return perSwitch
+}
+
+// seedVerdictsLocked restores persisted per-switch verdicts for the
+// deployment fingerprint into the session cache, once per (fingerprint,
+// mode) pair per session. Only absent slots are filled: an in-memory
+// entry is at least as fresh as the file it was persisted to. Loaded
+// entries carry no deployment pointer, so the next run's partition
+// verifies them by recomputed fingerprint — a replay happens only when
+// the logical and TCAM rule lists hash identically, making a stale or
+// foreign file safe (its entries simply never match).
+func (s *Session) seedVerdictsLocked(depFP uint64, probe bool) {
+	ws := s.a.opts.WarmStore
+	if ws == nil {
+		return
+	}
+	key := verdictLoadKey{fp: depFP, probe: probe}
+	if _, done := s.loadedVerdicts[key]; done {
+		return
+	}
+	s.loadedVerdicts[key] = struct{}{}
+	vs, err := ws.LoadVerdicts(depFP, probe)
+	if err != nil {
+		return // unverifiable file: cold start for these switches
+	}
+	cache := s.cache
+	if probe {
+		cache = s.probeCache
+	}
+	for _, v := range vs {
+		if _, ok := cache[v.Switch]; ok {
+			continue
+		}
+		cache[v.Switch] = &switchCheckState{
+			logicalFP: v.LogicalFP,
+			tcamFP:    v.TCAMFP,
+			report:    v.Report,
+		}
+	}
+}
+
+// saveVerdictsLocked schedules write-behind persistence of the current
+// per-switch cache under the deployment fingerprint. The snapshot slice
+// is built here, under the run lock; cached reports are immutable, so
+// the background encode needs no further coordination.
+func (s *Session) saveVerdictsLocked(depFP uint64, probe bool) {
+	cache := s.cache
+	if probe {
+		cache = s.probeCache
+	}
+	vs := make([]store.Verdict, 0, len(cache))
+	for sw, ent := range cache {
+		vs = append(vs, store.Verdict{
+			Switch:    sw,
+			LogicalFP: ent.logicalFP,
+			TCAMFP:    ent.tcamFP,
+			Report:    ent.report,
+		})
+	}
+	s.a.opts.WarmStore.SaveVerdicts(depFP, probe, vs)
 }
 
 // controllerModelLocked returns a fresh working controller view: a

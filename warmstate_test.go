@@ -1,0 +1,215 @@
+package scout_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"scout"
+)
+
+// TestSessionWarmRestartIdentity pins the tentpole end to end: a fresh
+// process (new store handle, new session) over an unchanged fabric
+// restores the persisted base and verdicts and replays the previous
+// report byte-identically — zero switches re-checked, zero match or
+// fold encodes — at every worker count. A subsequent mutation re-checks
+// exactly the dirty switch, proving the restored cache stays live, not
+// just replayable.
+func TestSessionWarmRestartIdentity(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		dir := t.TempDir()
+		f := faultyFabric(t, 11)
+		numSwitches := f.Topology().NumSwitches()
+		opts := func(ws *scout.WarmStore) scout.AnalyzerOptions {
+			return scout.AnalyzerOptions{Workers: workers, WarmStore: ws}
+		}
+
+		ws1, err := scout.OpenWarmStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess1, err := scout.NewSession(f, opts(ws1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep1, err := sess1.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := sess1.Stats(); st.BaseRebuilds != 1 || st.BaseLoads != 0 || st.Checked != numSwitches {
+			t.Fatalf("workers=%d cold stats: %+v", workers, st)
+		}
+		want := marshalReport(t, rep1)
+		if err := sess1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws1.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// "Restart": a fresh store handle and session over the same
+		// unchanged fabric.
+		ws2, err := scout.OpenWarmStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess2, err := scout.NewSession(f, opts(ws2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := sess2.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sess2.Stats()
+		if st.BaseRebuilds != 0 || st.BaseLoads != 1 {
+			t.Errorf("workers=%d: warm restart rebuilt the base: %+v", workers, st)
+		}
+		if st.Checked != 0 || st.Replayed != numSwitches {
+			t.Errorf("workers=%d: warm restart checked %d, replayed %d, want 0/%d",
+				workers, st.Checked, st.Replayed, numSwitches)
+		}
+		if st.EncodeMisses != 0 || st.FoldMisses != 0 {
+			t.Errorf("workers=%d: warm restart encoded: %d match, %d fold misses",
+				workers, st.EncodeMisses, st.FoldMisses)
+		}
+		if !bytes.Equal(want, marshalReport(t, rep2)) {
+			t.Errorf("workers=%d: restarted report differs from original", workers)
+		}
+
+		// Dirty restart leg: mutate one switch; only it re-checks, and the
+		// report still matches a cold analyzer on the same state.
+		dirtySw := f.Topology().Switches()[0]
+		removeOneRule(t, f, dirtySw)
+		rep3, err := sess2.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := sess2.Stats()
+		if got := after.Checked - st.Checked; got != 1 {
+			t.Errorf("workers=%d: dirty restart re-checked %d switches, want 1", workers, got)
+		}
+		cold, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers}).Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshalReport(t, rep3), marshalReport(t, cold)) {
+			t.Errorf("workers=%d: dirty restart report differs from cold analyzer", workers)
+		}
+		if err := sess2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionProbeWarmRestart pins the probe-mode half of durable warm
+// state: probe verdicts persist keyed by the deployment fingerprint, so
+// a restarted probe session replays a fingerprint-clean fabric with
+// zero switches classified.
+func TestSessionProbeWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	f := faultyFabric(t, 13)
+	numSwitches := f.Topology().NumSwitches()
+	opts := func(ws *scout.WarmStore) scout.AnalyzerOptions {
+		return scout.AnalyzerOptions{UseProbes: true, WarmStore: ws}
+	}
+
+	ws1, err := scout.OpenWarmStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess1, err := scout.NewSession(f, opts(ws1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := sess1.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sess1.Stats(); st.ProbeSwitchesClassified != numSwitches {
+		t.Fatalf("cold probe stats: %+v", st)
+	}
+	want := marshalReport(t, rep1)
+	if err := sess1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ws2, err := scout.OpenWarmStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2.Close()
+	sess2, err := scout.NewSession(f, opts(ws2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := sess2.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess2.Stats()
+	if st.ProbeSwitchesClassified != 0 || st.ProbeSwitchesReplayed != numSwitches {
+		t.Errorf("warm probe restart classified %d, replayed %d, want 0/%d",
+			st.ProbeSwitchesClassified, st.ProbeSwitchesReplayed, numSwitches)
+	}
+	if !bytes.Equal(want, marshalReport(t, rep2)) {
+		t.Error("restarted probe report differs from original")
+	}
+}
+
+// TestCrossDeploymentBaseSharing pins the registry acceptance
+// criterion: two sessions over byte-equal rule lists sharing one
+// BaseRegistry build each distinct whole-switch semantics BDD exactly
+// once process-wide — the first session folds them all, the second
+// grafts every one from the registry and folds nothing.
+func TestCrossDeploymentBaseSharing(t *testing.T) {
+	reg := scout.NewBaseRegistry()
+	opts := scout.AnalyzerOptions{Workers: 2, BaseRegistry: reg}
+
+	// Same workload seed twice: two independent fabrics whose compiled
+	// deployments carry byte-equal per-switch rule lists.
+	f1 := faultyFabric(t, 17)
+	f2 := faultyFabric(t, 17)
+
+	sess1, err := scout.NewSession(f1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := sess1.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := sess1.Stats()
+	if st1.BaseSemGrafts != 0 || st1.BaseSemFolds == 0 {
+		t.Fatalf("donor session stats: %+v", st1)
+	}
+
+	sess2, err := scout.NewSession(f2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := sess2.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := sess2.Stats()
+	if st2.BaseSemFolds != 0 || st2.BaseSemGrafts != st1.BaseSemFolds {
+		t.Errorf("sharing session folded %d, grafted %d, want 0 folds and %d grafts",
+			st2.BaseSemFolds, st2.BaseSemGrafts, st1.BaseSemFolds)
+	}
+	rst := reg.Stats()
+	if rst.Hits != st2.BaseSemGrafts || rst.Collisions != 0 {
+		t.Errorf("registry stats: %+v, want %d hits", rst, st2.BaseSemGrafts)
+	}
+	// Identical fabrics, identical reports — grafting changed nothing
+	// observable.
+	if !bytes.Equal(marshalReport(t, rep1), marshalReport(t, rep2)) {
+		t.Error("sharing session's report differs from donor's")
+	}
+}
