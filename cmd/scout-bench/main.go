@@ -14,6 +14,7 @@
 //	scout-bench -experiment probereuse -scale 0.25
 //	scout-bench -experiment bddspeed -scale 0.25
 //	scout-bench -experiment warmstore -scale 0.25
+//	scout-bench -experiment localizer -scale 0.25
 package main
 
 import (
@@ -54,7 +55,7 @@ type config struct {
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|probereuse|bddspeed|warmstore|all")
+	flag.StringVar(&cfg.experiment, "experiment", "all", "fig3|fig7a|fig7b|fig8|fig9|fig10|ablation|scale|parallel|incremental|overlay|sharedbdd|foldshare|storm|probereuse|bddspeed|warmstore|localizer|all")
 	flag.Float64Var(&cfg.scale, "scale", 0.25, "production-spec scale for simulation experiments (1.0 = paper size)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "experiment seed")
 	flag.IntVar(&cfg.runs, "runs", 30, "repetitions per accuracy data point")
@@ -268,6 +269,13 @@ func run(cfg config, w io.Writer) error {
 	if want("warmstore") {
 		fmt.Fprintln(w, "== Warm store: durable cross-restart BDD state ==")
 		if err := runWarmStore(cfg, w); err != nil {
+			return err
+		}
+	}
+
+	if want("localizer") {
+		fmt.Fprintln(w, "== Localization engine: compiled CSR/bitset plans vs map-based reference ==")
+		if err := runLocalizer(cfg, w); err != nil {
 			return err
 		}
 	}
@@ -1481,5 +1489,237 @@ func runWarmStore(cfg config, w io.Writer) error {
 	fmt.Fprintln(w, "restarted sessions encoded zero matches and folded zero rule lists: true")
 	fmt.Fprintln(w, "restarted reports byte-identical to the warm in-process report at workers 1/2/NumCPU: true")
 	fmt.Fprintln(w, "dirty restart re-checked exactly the mutated switch and matched a cold analysis: true")
+	return nil
+}
+
+// runLocalizer gates the compiled-plan localization engine against the
+// retained map-based reference. Asserting on counters and result
+// identity only (CI runners may be single-core):
+//
+//   - over a corpus of workload fault overlays on one pristine
+//     controller model, every SCOUT/SCORE-0.6/SCORE-1 Result is
+//     identical (reflect.DeepEqual, including Steps, Iterations, and
+//     ChangeLogPicks) between the engines, with exactly one plan
+//     compile — every overlay run reuses the pristine model's cached
+//     plan;
+//   - full pipeline analyses with the plan engine and with RefLocalizer
+//     produce byte-identical JSON reports at workers 1, 2, and NumCPU;
+//   - a warm session over a faulty fabric compiles plans only on its
+//     cold run (one controller plan plus one per broken switch) and
+//     re-localizes warm runs entirely from cached plans; a session over
+//     a clean fabric never compiles a plan at all.
+func runLocalizer(cfg config, w io.Writer) error {
+	env, err := eval.NewEnv(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	buildWorkers := cfg.workers
+	if buildWorkers <= 0 {
+		buildWorkers = runtime.NumCPU()
+	}
+	pristine := risk.BuildControllerModelParallel(env.Deployment,
+		risk.ControllerModelOptions{IncludeSwitchRisk: true}, buildWorkers)
+	planAlgos := eval.StandardAlgorithms()
+	refAlgos := eval.RefStandardAlgorithms()
+	candidates := env.Index.Objects()
+	rng := rand.New(rand.NewSource(cfg.seed))
+	before := localize.StatsSnapshot()
+	scenarios := 0
+	var planDur, refDur time.Duration
+	for i := 0; i < 40; i++ {
+		sc, err := workload.NewScenario(rng, candidates, 1+i%5, cfg.noise)
+		if err != nil {
+			return err
+		}
+		ov := risk.NewOverlay(pristine)
+		workload.ApplyToControllerModel(ov, env.Deployment, env.Index, sc, rng)
+		if ov.NumFailedEdges() == 0 {
+			continue
+		}
+		scenarios++
+		for k := range planAlgos {
+			start := time.Now()
+			got := planAlgos[k].Run(ov, sc.Changed)
+			planDur += time.Since(start)
+			start = time.Now()
+			want := refAlgos[k].Run(ov, sc.Changed)
+			refDur += time.Since(start)
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("scenario %d, %s: compiled-plan Result differs from map-based reference", i, planAlgos[k].Name)
+			}
+		}
+	}
+	if scenarios == 0 {
+		return fmt.Errorf("no overlay scenario produced failures")
+	}
+	planRuns := scenarios * len(planAlgos)
+	d := localize.StatsSnapshot().Delta(before)
+	if d.PlanCompiles != 1 {
+		return fmt.Errorf("corpus: %d plan compiles over %d overlay runs, want exactly 1 (pristine model compiled once)", d.PlanCompiles, planRuns)
+	}
+	if int(d.PlanReuses) != planRuns-1 {
+		return fmt.Errorf("corpus: %d plan reuses, want %d (every run after the first)", d.PlanReuses, planRuns-1)
+	}
+	fmt.Fprintf(w, "corpus: %d overlay scenarios x %d algorithms, Results identical on both engines\n",
+		scenarios, len(planAlgos))
+	fmt.Fprintf(w, "plan cache: %d compile / %d reuses over %d plan-engine runs\n",
+		d.PlanCompiles, d.PlanReuses, planRuns)
+	if d.FullScanEvals > 0 {
+		fmt.Fprintf(w, "lazy greedy: %d heap re-evaluations for %d picks vs %d eager coverage evaluations (%.1fx fewer)\n",
+			d.LazyEvals, d.LazyPicks, d.FullScanEvals,
+			float64(d.FullScanEvals)/float64(maxInt(1, int(d.LazyEvals))))
+	}
+	speedup := float64(refDur) / float64(maxInt(1, int(planDur)))
+	fmt.Fprintf(w, "engine wall clock (informational, not asserted): compiled-plan %v, map-based %v (%.2fx)\n\n",
+		planDur.Round(time.Millisecond), refDur.Round(time.Millisecond), speedup)
+
+	// Pipeline leg: full analyses through both engines at 1, 2, and
+	// NumCPU workers must all marshal to the same bytes (LocalizeStats is
+	// diagnostics-only and excluded from the JSON form). Capacity large
+	// enough that deployment never overflows a TCAM: the injected faults
+	// are then the only inconsistencies, and the control fabric below is
+	// genuinely clean.
+	pol, topo, err := scout.GenerateWorkload(eval.SimSpec(cfg.scale), cfg.seed)
+	if err != nil {
+		return err
+	}
+	f, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed, TCAMCapacity: 1 << 17})
+	if err != nil {
+		return err
+	}
+	if err := f.Deploy(); err != nil {
+		return err
+	}
+	filters := make([]scout.ObjectID, 0, len(pol.Filters))
+	for id := range pol.Filters {
+		filters = append(filters, id)
+	}
+	sort.Slice(filters, func(i, j int) bool { return filters[i] < filters[j] })
+	for _, id := range filters[:minInt(3, len(filters))] {
+		if _, err := f.InjectObjectFault(scout.FilterRef(id), 1.0); err != nil {
+			return err
+		}
+	}
+	st := scout.State{
+		Deployment: f.Deployment(),
+		TCAM:       f.CollectAll(),
+		Changes:    f.ChangeLog(),
+		Faults:     f.FaultLog(),
+		Now:        f.Now(),
+	}
+	workerCounts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	var baseline []byte
+	for _, workers := range workerCounts {
+		for _, refLoc := range []bool{false, true} {
+			rep, err := scout.NewAnalyzer(scout.AnalyzerOptions{Workers: workers, RefLocalizer: refLoc}).AnalyzeState(st)
+			if err != nil {
+				return err
+			}
+			if rep.Consistent {
+				return fmt.Errorf("pipeline: faulty fabric analyzed consistent; localization never ran")
+			}
+			if !refLoc && (rep.LocalizeStats == nil || rep.LocalizeStats.PlanCompiles < 1) {
+				return fmt.Errorf("pipeline: plan-engine run reported no plan compiles")
+			}
+			rep.Elapsed = 0
+			data, err := json.Marshal(rep)
+			if err != nil {
+				return err
+			}
+			if baseline == nil {
+				baseline = data
+			} else if !bytes.Equal(data, baseline) {
+				return fmt.Errorf("workers=%d refLocalizer=%v: report differs from plan-engine workers=1 (identity violation)", workers, refLoc)
+			}
+		}
+	}
+	fmt.Fprintf(w, "pipeline: reports byte-identical across engines at workers %v\n", workerCounts)
+
+	// Warm-session leg: plans compile on the cold run only.
+	sess, err := scout.NewSession(f, scout.AnalyzerOptions{Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	coldRep, err := sess.Analyze()
+	if err != nil {
+		return err
+	}
+	broken := 0
+	for _, sr := range coldRep.Switches {
+		if !sr.Equivalent {
+			broken++
+		}
+	}
+	coldStats := sess.Stats()
+	if coldStats.PlanCompiles != 1+broken {
+		return fmt.Errorf("cold session run compiled %d plans, want %d (controller + %d broken switches)",
+			coldStats.PlanCompiles, 1+broken, broken)
+	}
+	coldJSON, err := json.Marshal(coldRep)
+	if err != nil {
+		return err
+	}
+	warmRep, err := sess.Analyze()
+	if err != nil {
+		return err
+	}
+	warmStats := sess.Stats()
+	if warmStats.PlanCompiles != coldStats.PlanCompiles {
+		return fmt.Errorf("warm session run compiled %d plans, want 0",
+			warmStats.PlanCompiles-coldStats.PlanCompiles)
+	}
+	if warmStats.PlanReuses < coldStats.PlanReuses+1+broken {
+		return fmt.Errorf("warm session run reused %d plans, want at least %d (controller + broken switches)",
+			warmStats.PlanReuses-coldStats.PlanReuses, 1+broken)
+	}
+	coldRep.Elapsed = 0
+	warmRep.Elapsed = 0
+	warmJSON, err := json.Marshal(warmRep)
+	if err != nil {
+		return err
+	}
+	coldJSON, err = json.Marshal(coldRep)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		return fmt.Errorf("warm session report differs from cold (identity violation)")
+	}
+	fmt.Fprintf(w, "faulty-fabric session: cold run %d compiles (controller + %d broken switches), warm run 0 compiles / %d reuses\n",
+		coldStats.PlanCompiles, broken, warmStats.PlanReuses-coldStats.PlanReuses)
+
+	// Clean fabric: nothing to localize, so no plan is ever compiled.
+	clean, err := scout.NewFabric(pol, topo, scout.FabricOptions{Seed: cfg.seed, TCAMCapacity: 1 << 17})
+	if err != nil {
+		return err
+	}
+	if err := clean.Deploy(); err != nil {
+		return err
+	}
+	cleanSess, err := scout.NewSession(clean, scout.AnalyzerOptions{Workers: cfg.workers})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := cleanSess.Analyze()
+		if err != nil {
+			return err
+		}
+		if !rep.Consistent {
+			return fmt.Errorf("clean fabric analyzed inconsistent")
+		}
+	}
+	if st := cleanSess.Stats(); st.PlanCompiles != 0 || st.PlanReuses != 0 {
+		return fmt.Errorf("clean-fabric session compiled %d / reused %d plans, want zero localization work",
+			st.PlanCompiles, st.PlanReuses)
+	}
+	fmt.Fprintf(w, "clean-fabric session: 2 runs, zero plan compiles\n")
+
+	fmt.Fprintln(w, "\ncorpus Results identical between engines with one plan compile, all reuses: true")
+	fmt.Fprintln(w, "pipeline reports byte-identical across engines and worker counts: true")
+	fmt.Fprintln(w, "warm session runs compile zero plans (faulty and clean fabrics): true")
 	return nil
 }

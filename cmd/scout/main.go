@@ -281,6 +281,12 @@ func emitReport(report *scout.Report, pstats *scout.ProberStats, jsonOut, verbos
 				es.OpCache.L1Hits, es.OpCache.L2Hits, es.OpCache.BaseHits, es.OpCache.Misses,
 				es.Compactions, es.CompactRetained, es.CompactDropped)
 		}
+		if ls := report.LocalizeStats; ls != nil {
+			fmt.Printf("\nlocalization: %d plan compiles / %d reuses, lazy heap %d re-evaluations for %d picks (vs %d eager scans)\n",
+				ls.PlanCompiles, ls.PlanReuses, ls.LazyEvals, ls.LazyPicks, ls.FullScanEvals)
+			fmt.Printf("localization stages: hit-ratio-1 %v, change-log %v, greedy set cover %v\n",
+				ls.Stage1.Round(time.Microsecond), ls.Stage2.Round(time.Microsecond), ls.Greedy.Round(time.Microsecond))
+		}
 		if pstats != nil {
 			fmt.Printf("\nprober: packet memo %d hits / %d misses, %d batch passes (%d packets batched), %d fallback probes\n",
 				pstats.MemoHits, pstats.MemoMisses, pstats.BatchPasses, pstats.BatchedPackets, pstats.FallbackProbes)
@@ -453,6 +459,8 @@ func runWatch(f *scout.Fabric, faults []objectFault, opts watchOptions, w io.Wri
 	fmt.Fprintf(w, "event queue: %d pushed, %d coalesced, %d stale, %d overflows; %d batches (max %d switches)\n",
 		qs.Pushed, qs.Coalesced, qs.Stale, qs.Overflows, qs.Batches, qs.MaxBatch)
 	st := sess.Stats()
+	fmt.Fprintf(w, "session localization: %d plan compiles / %d reuses, lazy heap %d re-evaluations for %d picks (vs %d eager scans)\n",
+		st.PlanCompiles, st.PlanReuses, st.LazyEvals, st.LazyPicks, st.FullScanEvals)
 	var pstats *scout.ProberStats
 	if probeMode {
 		fmt.Fprintf(w, "probe replay: %d switches classified, %d replayed, %d packets batched\n",

@@ -1,0 +1,206 @@
+// Compiled-plan implementations of SCOUT, SCORE, and MaxCoverage. Each
+// is pinned Result-identical to its reference counterpart in ref.go by
+// the differential tests and the `scout-bench -experiment localizer` CI
+// gate; the reference engine remains the readable specification.
+
+package localize
+
+import (
+	"time"
+
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// planScout is Scout on a compiled plan. Stage one replaces the
+// per-round candidate rescan with the incrementally-maintained alive
+// counters: a risk is a candidate iff aliveFailed > 0 (some pending
+// observation has a failed edge to it), has hit ratio 1 iff
+// aliveFailed == aliveDeps, and its coverage is aliveFailed itself.
+func planScout(p *plan, o *risk.Overlay, oracle ChangeOracle) *Result {
+	start := time.Now()
+	rv := newRunView(p, o)
+	res := &Result{}
+	hypothesis := make(object.Set)
+	totalObs := rv.pendingCount
+
+	var maxSet []int32
+	for rv.pendingCount > 0 {
+		res.Iterations++
+		// pickCandidates (Algorithm 2) over the ref-sorted failed risks.
+		maxCov := int32(0)
+		maxSet = maxSet[:0]
+		for _, i := range rv.failedRisks {
+			cov := rv.aliveFailed[i]
+			if cov == 0 || cov != rv.aliveDeps[i] {
+				continue // not a candidate, or hit ratio < 1
+			}
+			switch {
+			case cov > maxCov:
+				maxCov = cov
+				maxSet = append(maxSet[:0], i)
+			case cov == maxCov:
+				maxSet = append(maxSet, i)
+			}
+		}
+		if len(maxSet) == 0 {
+			break
+		}
+		step := Step{Picked: make([]object.Ref, 0, len(maxSet))}
+		pendingBefore := rv.pendingCount
+		for _, i := range maxSet {
+			step.Picked = append(step.Picked, rv.ref(i))
+			rv.forEachDep(i, func(el int32) {
+				if rv.prune(el) {
+					step.Pruned++
+				}
+			})
+			hypothesis.Add(rv.ref(i))
+		}
+		step.Coverage = pendingBefore - rv.pendingCount
+		res.Steps = append(res.Steps, step)
+	}
+	engineCounters.stage1Nanos.Add(int64(time.Since(start)))
+
+	// Stage two: explain leftovers via the change log, walking pending in
+	// ascending element order so the oracle call sequence is
+	// deterministic.
+	if rv.pendingCount > 0 && oracle != nil {
+		start = time.Now()
+		rv.pending.forEach(func(el int32) {
+			picked := false
+			for _, ref := range rv.failedRefsOf(el) {
+				if oracle.RecentlyChanged(ref) {
+					if !hypothesis.Has(ref) {
+						hypothesis.Add(ref)
+						res.ChangeLogPicks = append(res.ChangeLogPicks, ref)
+					}
+					picked = true
+				}
+			}
+			if picked {
+				rv.pending.clear(el)
+				rv.pendingCount--
+			}
+		})
+		object.SortRefs(res.ChangeLogPicks)
+		engineCounters.stage2Nanos.Add(int64(time.Since(start)))
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = pendingElements(rv)
+	res.Explained = totalObs - rv.pendingCount
+	return res
+}
+
+// pendingElements lists the remaining pending observations, matching the
+// reference engine's sortedElements shape (non-nil even when empty).
+func pendingElements(rv *runView) []risk.ElementID {
+	out := make([]risk.ElementID, 0, rv.pendingCount)
+	rv.pending.forEach(func(el int32) { out = append(out, risk.ElementID(el)) })
+	return out
+}
+
+// planGreedy is the shared lazy-greedy pick loop of Score and
+// MaxCoverage: greedily pick the eligible risk with maximum residual
+// coverage (lowest ref on ties) until nothing new is covered. eligible
+// must be sorted by ref.
+func planGreedy(rv *runView, eligible []int32, res *Result, hypothesis object.Set) {
+	start := time.Now()
+	h := make(lazyHeap, 0, len(eligible))
+	for rank, i := range eligible {
+		// pending starts as the full failure signature, so the initial
+		// residual coverage is the risk's total failed-edge count.
+		h.push(lazyEntry{cov: rv.aliveFailed[i], rank: int32(rank), round: 0, idx: i})
+	}
+	round := int32(0)
+	for rv.pendingCount > 0 && len(h) > 0 {
+		e := h.pop()
+		if e.round != round {
+			e.cov = rv.coverage(e.idx)
+			e.round = round
+			engineCounters.lazyEvals.Add(1)
+			h.push(e)
+			continue
+		}
+		if e.cov == 0 {
+			break
+		}
+		res.Iterations++
+		round++
+		engineCounters.lazyPicks.Add(1)
+		engineCounters.fullScanEvals.Add(int64(len(eligible)))
+		hypothesis.Add(rv.ref(e.idx))
+		pendingBefore := rv.pendingCount
+		rv.forEachFailed(e.idx, func(el int32) {
+			if rv.pending.test(el) {
+				rv.pending.clear(el)
+				rv.pendingCount--
+			}
+		})
+		res.Steps = append(res.Steps, Step{
+			Picked:   []object.Ref{rv.ref(e.idx)},
+			Coverage: pendingBefore - rv.pendingCount,
+		})
+	}
+	engineCounters.greedy.Add(int64(time.Since(start)))
+}
+
+// planScore is Score on a compiled plan.
+func planScore(p *plan, o *risk.Overlay, threshold float64) *Result {
+	rv := newRunView(p, o)
+	res := &Result{}
+	hypothesis := make(object.Set)
+	totalObs := rv.pendingCount
+
+	// Eligible risks: hit ratio >= threshold on the full model. The
+	// freshly-initialized alive counters are exactly the full-model
+	// dependent/failed counts.
+	var eligible []int32
+	for i := int32(0); i < rv.nAll; i++ {
+		deps, failed := rv.aliveDeps[i], rv.aliveFailed[i]
+		if deps == 0 || failed == 0 {
+			continue
+		}
+		if float64(failed)/float64(deps) >= threshold {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(rv.extraRefs) > 0 {
+		sortByRef(rv, eligible)
+	}
+
+	planGreedy(rv, eligible, res, hypothesis)
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = pendingElements(rv)
+	res.Explained = totalObs - rv.pendingCount
+	return res
+}
+
+// planMaxCoverage is MaxCoverage on a compiled plan: every risk with a
+// failed edge is eligible (risks without one can never cover anything, so
+// skipping them cannot change the picks).
+func planMaxCoverage(p *plan, o *risk.Overlay) *Result {
+	rv := newRunView(p, o)
+	res := &Result{}
+	hypothesis := make(object.Set)
+	totalObs := rv.pendingCount
+
+	planGreedy(rv, rv.failedRisks, res, hypothesis)
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = pendingElements(rv)
+	res.Explained = totalObs - rv.pendingCount
+	return res
+}
+
+// sortByRef sorts risk indices by their object refs (needed only when
+// overlay-created risks interleave with the base ordering).
+func sortByRef(rv *runView, idxs []int32) {
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && rv.refLess(idxs[j], idxs[j-1]); j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Lazy-greedy (CELF-style) pick heap for the submodular set-cover loops.
+//
+// Residual coverage |Oi ∩ pending| only shrinks as observations are
+// explained, so a stored score is always an upper bound on the current
+// one. The pick loop pops the max entry; if its score was computed in an
+// earlier round it is re-evaluated and pushed back, otherwise it is the
+// true maximum and is picked. Tie-breaking must reproduce the reference
+// engine's "lowest ref among max-coverage risks" exactly, so entries
+// carry their rank in the ref-sorted eligible list and the heap orders by
+// (coverage desc, rank asc): a stale entry that still ties the fresh top
+// sorts first, gets re-evaluated, and wins the tie just as a full rescan
+// would.
+
+package localize
+
+// lazyEntry is one eligible risk in the pick heap.
+type lazyEntry struct {
+	cov   int32 // last-evaluated residual coverage
+	rank  int32 // position in the ref-sorted eligible list (tie-break)
+	round int32 // pick round the coverage was evaluated in
+	idx   int32 // run-view risk index
+}
+
+// lazyHeap is a binary max-heap of lazyEntry ordered by (cov desc, rank
+// asc).
+type lazyHeap []lazyEntry
+
+func lazyLess(a, b lazyEntry) bool {
+	return a.cov > b.cov || (a.cov == b.cov && a.rank < b.rank)
+}
+
+func (h *lazyHeap) push(e lazyEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lazyLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *lazyHeap) pop() lazyEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && lazyLess(s[l], s[smallest]) {
+			smallest = l
+		}
+		if r < len(s) && lazyLess(s[r], s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}

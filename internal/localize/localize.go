@@ -11,6 +11,15 @@
 //     that admits every risk above a static hit-ratio threshold and picks
 //     by coverage. Partial faults below the threshold are treated as
 //     noise, which is the accuracy gap SCOUT closes.
+//
+// Two engines implement the algorithms. The default one runs on a
+// compiled localization plan (plan.go): dense CSR adjacency and packed
+// bit masks compiled once per pristine model, cached on the model, and
+// composed with an O(marks) delta for overlay runs, with a lazy-greedy
+// heap for the submodular pick loops (engine.go). The original
+// map-of-maps implementation is retained as RefScout/RefScore/
+// RefMaxCoverage (ref.go) and pins the rewrite through differential
+// tests.
 package localize
 
 import (
@@ -104,158 +113,15 @@ func (r *Result) Gamma(m risk.View) float64 {
 	return float64(len(r.Hypothesis)) / float64(len(suspects))
 }
 
-// view is the mutable working state of the greedy algorithms: adjacency
-// extracted once from the (immutable) model plus an alive mask that
-// implements Algorithm 1's Prune.
-type view struct {
-	m risk.View
-	// deps[ref] = elements depending on ref.
-	deps map[object.Ref][]risk.ElementID
-	// failed[ref] = elements whose edge to ref is marked fail.
-	failed map[object.Ref]map[risk.ElementID]struct{}
-	alive  []bool
-}
-
-func newView(m risk.View) *view {
-	v := &view{
-		m:      m,
-		deps:   make(map[object.Ref][]risk.ElementID),
-		failed: make(map[object.Ref]map[risk.ElementID]struct{}),
-		alive:  make([]bool, m.NumElements()),
-	}
-	for i := range v.alive {
-		v.alive[i] = true
-	}
-	for _, ref := range m.Risks() {
-		v.deps[ref] = m.ElementsOf(ref)
-		set := make(map[risk.ElementID]struct{})
-		for _, el := range m.FailedElementsOf(ref) {
-			set[el] = struct{}{}
-		}
-		v.failed[ref] = set
-	}
-	return v
-}
-
-// aliveCounts returns (|Gi ∩ alive|, |Oi ∩ alive|) for risk ref.
-func (v *view) aliveCounts(ref object.Ref) (deps, failed int) {
-	for _, el := range v.deps[ref] {
-		if !v.alive[el] {
-			continue
-		}
-		deps++
-		if _, f := v.failed[ref][el]; f {
-			failed++
-		}
-	}
-	return deps, failed
-}
-
 // Scout runs the SCOUT algorithm (Algorithm 1) on the annotated model.
 // oracle supplies the change-log lookup for stage two; pass NoChanges{} to
-// disable it.
+// disable it. Models and overlays run on the compiled-plan engine; other
+// View implementations fall back to the reference engine.
 func Scout(m risk.View, oracle ChangeOracle) *Result {
-	v := newView(m)
-	res := &Result{}
-	hypothesis := make(object.Set)
-
-	// P: unexplained observations.
-	pending := make(map[risk.ElementID]struct{})
-	for _, el := range m.FailureSignature() {
-		pending[el] = struct{}{}
+	if p, o, ok := planFor(m); ok {
+		return planScout(p, o, oracle)
 	}
-	totalObs := len(pending)
-
-	for len(pending) > 0 {
-		res.Iterations++
-		// K: shared risks with a failed edge from some unexplained
-		// observation (lines 6-10).
-		candidates := make(object.Set)
-		for el := range pending {
-			for _, ref := range m.FailedRisksOf(el) {
-				candidates.Add(ref)
-			}
-		}
-		// pickCandidates (Algorithm 2): risks with hit ratio 1, then the
-		// max-coverage subset among them.
-		faultySet := pickCandidates(v, candidates, pending)
-		if len(faultySet) == 0 {
-			break
-		}
-		// Prune every element depending on a picked risk (lines 15-17).
-		step := Step{Picked: append([]object.Ref(nil), faultySet...)}
-		pendingBefore := len(pending)
-		for _, ref := range faultySet {
-			for _, el := range v.deps[ref] {
-				if !v.alive[el] {
-					continue
-				}
-				v.alive[el] = false
-				step.Pruned++
-				delete(pending, el)
-			}
-			hypothesis.Add(ref)
-		}
-		step.Coverage = pendingBefore - len(pending)
-		res.Steps = append(res.Steps, step)
-	}
-
-	// Stage two (lines 20-25): explain remaining observations via the
-	// change log.
-	if len(pending) > 0 && oracle != nil {
-		for el := range pending {
-			picked := false
-			for _, ref := range m.FailedRisksOf(el) {
-				if oracle.RecentlyChanged(ref) {
-					if !hypothesis.Has(ref) {
-						hypothesis.Add(ref)
-						res.ChangeLogPicks = append(res.ChangeLogPicks, ref)
-					}
-					picked = true
-				}
-			}
-			if picked {
-				delete(pending, el)
-			}
-		}
-		object.SortRefs(res.ChangeLogPicks)
-	}
-
-	res.Hypothesis = hypothesis.Sorted()
-	res.Unexplained = sortedElements(pending)
-	res.Explained = totalObs - len(pending)
-	return res
-}
-
-// pickCandidates implements Algorithm 2: among the candidate risks, keep
-// those whose (alive) hit ratio is exactly 1, then return the subset with
-// the maximum number of unexplained observations covered.
-func pickCandidates(v *view, candidates object.Set, pending map[risk.ElementID]struct{}) []object.Ref {
-	maxCov := 0
-	var maxSet []object.Ref
-	for _, ref := range candidates.Sorted() {
-		deps, failed := v.aliveCounts(ref)
-		if deps == 0 || failed != deps {
-			continue // hit ratio < 1
-		}
-		cov := 0
-		for el := range v.failed[ref] {
-			if _, p := pending[el]; p {
-				cov++
-			}
-		}
-		if cov == 0 {
-			continue
-		}
-		switch {
-		case cov > maxCov:
-			maxCov = cov
-			maxSet = []object.Ref{ref}
-		case cov == maxCov:
-			maxSet = append(maxSet, ref)
-		}
-	}
-	return maxSet
+	return RefScout(m, oracle)
 }
 
 // Score runs the SCORE baseline with the given hit-ratio threshold
@@ -263,65 +129,10 @@ func pickCandidates(v *view, candidates object.Set, pending map[risk.ElementID]s
 // computed once on the full model; eligible risks are greedily selected by
 // residual coverage until no eligible risk explains a new observation.
 func Score(m risk.View, threshold float64) *Result {
-	v := newView(m)
-	res := &Result{}
-	hypothesis := make(object.Set)
-
-	pending := make(map[risk.ElementID]struct{})
-	for _, el := range m.FailureSignature() {
-		pending[el] = struct{}{}
+	if p, o, ok := planFor(m); ok {
+		return planScore(p, o, threshold)
 	}
-	totalObs := len(pending)
-
-	// Eligible risks: hit ratio >= threshold on the full model.
-	var eligible []object.Ref
-	for _, ref := range m.Risks() {
-		deps, failed := v.aliveCounts(ref) // full model: everything alive
-		if deps == 0 || failed == 0 {
-			continue
-		}
-		if float64(failed)/float64(deps) >= threshold {
-			eligible = append(eligible, ref)
-		}
-	}
-
-	for len(pending) > 0 {
-		best := object.Ref{}
-		bestCov := 0
-		for _, ref := range eligible {
-			if hypothesis.Has(ref) {
-				continue
-			}
-			cov := 0
-			for el := range v.failed[ref] {
-				if _, p := pending[el]; p {
-					cov++
-				}
-			}
-			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
-				best = ref
-				bestCov = cov
-			}
-		}
-		if bestCov == 0 {
-			break
-		}
-		res.Iterations++
-		hypothesis.Add(best)
-		pendingBefore := len(pending)
-		for el := range v.failed[best] {
-			delete(pending, el)
-		}
-		res.Steps = append(res.Steps, Step{
-			Picked:   []object.Ref{best},
-			Coverage: pendingBefore - len(pending),
-		})
-	}
-
-	res.Hypothesis = hypothesis.Sorted()
-	res.Unexplained = sortedElements(pending)
-	res.Explained = totalObs - len(pending)
-	return res
+	return RefScore(m, threshold)
 }
 
 func sortedElements(set map[risk.ElementID]struct{}) []risk.ElementID {

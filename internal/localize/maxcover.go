@@ -10,60 +10,17 @@
 package localize
 
 import (
-	"scout/internal/object"
 	"scout/internal/risk"
 )
 
 // MaxCoverage runs plain greedy set cover over the failed edges of the
 // annotated model: repeatedly pick the risk explaining the most
-// still-unexplained observations until everything is explained.
+// still-unexplained observations until everything is explained. Models
+// and overlays run on the compiled-plan engine; other View
+// implementations fall back to the reference engine.
 func MaxCoverage(m risk.View) *Result {
-	v := newView(m)
-	res := &Result{}
-	hypothesis := make(object.Set)
-
-	pending := make(map[risk.ElementID]struct{})
-	for _, el := range m.FailureSignature() {
-		pending[el] = struct{}{}
+	if p, o, ok := planFor(m); ok {
+		return planMaxCoverage(p, o)
 	}
-	totalObs := len(pending)
-	risks := m.Risks()
-
-	for len(pending) > 0 {
-		var best object.Ref
-		bestCov := 0
-		for _, ref := range risks {
-			if hypothesis.Has(ref) {
-				continue
-			}
-			cov := 0
-			for el := range v.failed[ref] {
-				if _, p := pending[el]; p {
-					cov++
-				}
-			}
-			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
-				best = ref
-				bestCov = cov
-			}
-		}
-		if bestCov == 0 {
-			break
-		}
-		res.Iterations++
-		hypothesis.Add(best)
-		pendingBefore := len(pending)
-		for el := range v.failed[best] {
-			delete(pending, el)
-		}
-		res.Steps = append(res.Steps, Step{
-			Picked:   []object.Ref{best},
-			Coverage: pendingBefore - len(pending),
-		})
-	}
-
-	res.Hypothesis = hypothesis.Sorted()
-	res.Unexplained = sortedElements(pending)
-	res.Explained = totalObs - len(pending)
-	return res
+	return RefMaxCoverage(m)
 }

@@ -1,0 +1,281 @@
+// Reference localization engine: the original map-of-maps implementation
+// of SCOUT, SCORE, and MaxCoverage, retained as the readable
+// specification the compiled-plan engine (plan.go/engine.go) is pinned
+// against. RefScout/RefScore/RefMaxCoverage must stay Result-identical to
+// Scout/Score/MaxCoverage — the differential tests and the
+// `scout-bench -experiment localizer` CI gate enforce it.
+
+package localize
+
+import (
+	"scout/internal/object"
+	"scout/internal/risk"
+)
+
+// view is the mutable working state of the reference engine: adjacency
+// extracted once from the (immutable) model plus an alive mask that
+// implements Algorithm 1's Prune.
+type view struct {
+	m risk.View
+	// deps[ref] = elements depending on ref.
+	deps map[object.Ref][]risk.ElementID
+	// failed[ref] = elements whose edge to ref is marked fail.
+	failed map[object.Ref]map[risk.ElementID]struct{}
+	alive  []bool
+}
+
+func newView(m risk.View) *view {
+	v := &view{
+		m:      m,
+		deps:   make(map[object.Ref][]risk.ElementID),
+		failed: make(map[object.Ref]map[risk.ElementID]struct{}),
+		alive:  make([]bool, m.NumElements()),
+	}
+	for i := range v.alive {
+		v.alive[i] = true
+	}
+	for _, ref := range m.Risks() {
+		v.deps[ref] = m.ElementsOf(ref)
+		set := make(map[risk.ElementID]struct{})
+		for _, el := range m.FailedElementsOf(ref) {
+			set[el] = struct{}{}
+		}
+		v.failed[ref] = set
+	}
+	return v
+}
+
+// aliveCounts returns (|Gi ∩ alive|, |Oi ∩ alive|) for risk ref.
+func (v *view) aliveCounts(ref object.Ref) (deps, failed int) {
+	for _, el := range v.deps[ref] {
+		if !v.alive[el] {
+			continue
+		}
+		deps++
+		if _, f := v.failed[ref][el]; f {
+			failed++
+		}
+	}
+	return deps, failed
+}
+
+// RefScout is the reference implementation of Scout (Algorithm 1).
+func RefScout(m risk.View, oracle ChangeOracle) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	// P: unexplained observations.
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+
+	for len(pending) > 0 {
+		res.Iterations++
+		// K: shared risks with a failed edge from some unexplained
+		// observation (lines 6-10).
+		candidates := make(object.Set)
+		for el := range pending {
+			for _, ref := range m.FailedRisksOf(el) {
+				candidates.Add(ref)
+			}
+		}
+		// pickCandidates (Algorithm 2): risks with hit ratio 1, then the
+		// max-coverage subset among them.
+		faultySet := pickCandidates(v, candidates, pending)
+		if len(faultySet) == 0 {
+			break
+		}
+		// Prune every element depending on a picked risk (lines 15-17).
+		step := Step{Picked: append([]object.Ref(nil), faultySet...)}
+		pendingBefore := len(pending)
+		for _, ref := range faultySet {
+			for _, el := range v.deps[ref] {
+				if !v.alive[el] {
+					continue
+				}
+				v.alive[el] = false
+				step.Pruned++
+				delete(pending, el)
+			}
+			hypothesis.Add(ref)
+		}
+		step.Coverage = pendingBefore - len(pending)
+		res.Steps = append(res.Steps, step)
+	}
+
+	// Stage two (lines 20-25): explain remaining observations via the
+	// change log. Pending is walked in ascending element order so the
+	// oracle sees a deterministic call sequence.
+	if len(pending) > 0 && oracle != nil {
+		for _, el := range sortedElements(pending) {
+			picked := false
+			for _, ref := range m.FailedRisksOf(el) {
+				if oracle.RecentlyChanged(ref) {
+					if !hypothesis.Has(ref) {
+						hypothesis.Add(ref)
+						res.ChangeLogPicks = append(res.ChangeLogPicks, ref)
+					}
+					picked = true
+				}
+			}
+			if picked {
+				delete(pending, el)
+			}
+		}
+		object.SortRefs(res.ChangeLogPicks)
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}
+
+// pickCandidates implements Algorithm 2: among the candidate risks, keep
+// those whose (alive) hit ratio is exactly 1, then return the subset with
+// the maximum number of unexplained observations covered.
+func pickCandidates(v *view, candidates object.Set, pending map[risk.ElementID]struct{}) []object.Ref {
+	maxCov := 0
+	var maxSet []object.Ref
+	for _, ref := range candidates.Sorted() {
+		deps, failed := v.aliveCounts(ref)
+		if deps == 0 || failed != deps {
+			continue // hit ratio < 1
+		}
+		cov := 0
+		for el := range v.failed[ref] {
+			if _, p := pending[el]; p {
+				cov++
+			}
+		}
+		if cov == 0 {
+			continue
+		}
+		switch {
+		case cov > maxCov:
+			maxCov = cov
+			maxSet = []object.Ref{ref}
+		case cov == maxCov:
+			maxSet = append(maxSet, ref)
+		}
+	}
+	return maxSet
+}
+
+// RefScore is the reference implementation of Score.
+func RefScore(m risk.View, threshold float64) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+
+	// Eligible risks: hit ratio >= threshold on the full model.
+	var eligible []object.Ref
+	for _, ref := range m.Risks() {
+		deps, failed := v.aliveCounts(ref) // full model: everything alive
+		if deps == 0 || failed == 0 {
+			continue
+		}
+		if float64(failed)/float64(deps) >= threshold {
+			eligible = append(eligible, ref)
+		}
+	}
+
+	for len(pending) > 0 {
+		best := object.Ref{}
+		bestCov := 0
+		for _, ref := range eligible {
+			if hypothesis.Has(ref) {
+				continue
+			}
+			cov := 0
+			for el := range v.failed[ref] {
+				if _, p := pending[el]; p {
+					cov++
+				}
+			}
+			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
+				best = ref
+				bestCov = cov
+			}
+		}
+		if bestCov == 0 {
+			break
+		}
+		res.Iterations++
+		hypothesis.Add(best)
+		pendingBefore := len(pending)
+		for el := range v.failed[best] {
+			delete(pending, el)
+		}
+		res.Steps = append(res.Steps, Step{
+			Picked:   []object.Ref{best},
+			Coverage: pendingBefore - len(pending),
+		})
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}
+
+// RefMaxCoverage is the reference implementation of MaxCoverage.
+func RefMaxCoverage(m risk.View) *Result {
+	v := newView(m)
+	res := &Result{}
+	hypothesis := make(object.Set)
+
+	pending := make(map[risk.ElementID]struct{})
+	for _, el := range m.FailureSignature() {
+		pending[el] = struct{}{}
+	}
+	totalObs := len(pending)
+	risks := m.Risks()
+
+	for len(pending) > 0 {
+		var best object.Ref
+		bestCov := 0
+		for _, ref := range risks {
+			if hypothesis.Has(ref) {
+				continue
+			}
+			cov := 0
+			for el := range v.failed[ref] {
+				if _, p := pending[el]; p {
+					cov++
+				}
+			}
+			if cov > bestCov || (cov == bestCov && cov > 0 && ref.Less(best)) {
+				best = ref
+				bestCov = cov
+			}
+		}
+		if bestCov == 0 {
+			break
+		}
+		res.Iterations++
+		hypothesis.Add(best)
+		pendingBefore := len(pending)
+		for el := range v.failed[best] {
+			delete(pending, el)
+		}
+		res.Steps = append(res.Steps, Step{
+			Picked:   []object.Ref{best},
+			Coverage: pendingBefore - len(pending),
+		})
+	}
+
+	res.Hypothesis = hypothesis.Sorted()
+	res.Unexplained = sortedElements(pending)
+	res.Explained = totalObs - len(pending)
+	return res
+}

@@ -173,6 +173,9 @@ func mergeShard(m *Model, sm *Model) {
 			m.risks[r].elements = append(m.risks[r].elements, el)
 		}
 		m.edges += len(risks)
+		// Keep the mutation revision identical to the serial build's: one
+		// bump per element and per edge, as EnsureElement/AddEdge would do.
+		m.rev += 1 + uint64(len(risks))
 	}
 }
 

@@ -95,6 +95,11 @@ type Model struct {
 	byRef  map[object.Ref]RiskID
 	edges  int
 	failed int // failed edge count
+
+	// rev counts mutations; planCache holds the compiled localization
+	// plan for the revision it was built at (see plancache.go).
+	rev       uint64
+	planCache planCacheSlot
 }
 
 // NewModel creates an empty risk model with a diagnostic name.
@@ -130,6 +135,7 @@ func (m *Model) EnsureElement(label string) ElementID {
 	id := ElementID(len(m.elements))
 	m.elements = append(m.elements, elementData{label: label})
 	m.byLabel[label] = id
+	m.rev++
 	return id
 }
 
@@ -150,6 +156,7 @@ func (m *Model) EnsureRisk(ref object.Ref) RiskID {
 	id := RiskID(len(m.risks))
 	m.risks = append(m.risks, riskData{ref: ref})
 	m.byRef[ref] = id
+	m.rev++
 	return id
 }
 
@@ -174,6 +181,7 @@ func (m *Model) AddEdge(el ElementID, ref object.Ref) {
 	m.elements[el].risks = append(m.elements[el].risks, r)
 	m.risks[r].elements = append(m.risks[r].elements, el)
 	m.edges++
+	m.rev++
 }
 
 // MarkFailed flags the edge between el and ref as fail, creating the edge
@@ -191,6 +199,7 @@ func (m *Model) MarkFailed(el ElementID, ref object.Ref) bool {
 	}
 	e.failed[r] = struct{}{}
 	m.failed++
+	m.rev++
 	return true
 }
 
@@ -363,6 +372,7 @@ func (m *Model) ResetFailures() {
 		m.elements[i].failed = nil
 	}
 	m.failed = 0
+	m.rev++
 }
 
 // String summarizes the model.
@@ -398,6 +408,7 @@ func (m *Model) Clone() *Model {
 		byRef:    make(map[object.Ref]RiskID, len(m.byRef)),
 		edges:    m.edges,
 		failed:   m.failed,
+		rev:      m.rev,
 	}
 	for i, e := range m.elements {
 		ne := elementData{label: e.label, risks: append([]RiskID(nil), e.risks...)}

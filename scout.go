@@ -101,6 +101,13 @@ type AnalyzerOptions struct {
 	// encoding work happens, never what a check returns.
 	PrivateCheckers bool
 
+	// RefLocalizer runs every localization on the retained map-based
+	// reference engine (localize.RefScout) instead of the compiled-plan
+	// engine. Reports are byte-identical either way — the localizer CI
+	// gate pins it — so this exists for ablation and differential
+	// testing, like PrivateCheckers does for the shared BDD base.
+	RefLocalizer bool
+
 	// SessionNodeBudget bounds each session worker checker's private BDD
 	// delta (in nodes). A checker over budget is first compacted (delta
 	// GC around its live memo roots, keeping warm state) and Reset only
@@ -146,6 +153,26 @@ type Analyzer struct {
 	prober    *probe.Prober
 	proberDep *Deployment
 	proberFP  uint64
+
+	// swModels, when non-nil (session-owned analyzers only), caches the
+	// annotated per-switch risk models built for inequivalent switches,
+	// keyed by switch and validated by (deployment, report) identity: a
+	// session replaying a cached check report hands assemble the same
+	// report pointer under the same deployment, which pins the model —
+	// and therefore its compiled localization plan — as identical. Warm
+	// runs then localize every still-broken switch with zero plan
+	// compiles. Localization never mutates its view, so the cached model
+	// is safe to share across runs and across the assemble fan-out.
+	swModelMu sync.Mutex
+	swModels  map[object.ID]*switchModelEntry
+}
+
+// switchModelEntry is one cached annotated switch model and the identity
+// of the inputs it was built from.
+type switchModelEntry struct {
+	dep    *Deployment
+	report *equiv.Report
+	model  *risk.Model
 }
 
 // NewAnalyzer creates an analyzer. The zero AnalyzerOptions give the
@@ -201,6 +228,13 @@ type Report struct {
 	// the JSON form so reports stay byte-identical across worker counts
 	// and checker modes.
 	EncodeStats *equiv.EncodeStats `json:"-"`
+	// LocalizeStats is the localization engine's counter delta for this
+	// run: plan compiles vs cache reuses, lazy-greedy coverage
+	// re-evaluations vs the full rescans they replaced, and per-stage
+	// timings. Nil when the run localized nothing (consistent fabric) or
+	// under RefLocalizer. Diagnostics like EncodeStats, so excluded from
+	// the JSON form.
+	LocalizeStats *localize.EngineStats `json:"-"`
 	// Hypothesis is the controller-model hypothesis: the minimal set of
 	// most-likely faulty policy objects (may include switch objects).
 	Hypothesis []object.Ref
@@ -819,14 +853,19 @@ func (a *Analyzer) oracle(changes *ChangeLog, now time.Time) localize.ChangeLogO
 // out over the worker pool (patches only read the still-pristine
 // controller view); then the serial fold walks the switches in ascending
 // ID order to count missing rules and replay the patches, and the global
-// localization/correlation pass finishes the report. Only localize.Scout
-// itself and the O(failures) patch replay stay serial. switches must be
-// sorted ascending and aligned with checkReps. ctrl is consumed (marked
-// in place): the one-shot analyzer passes a fresh model, a warm session a
-// copy-on-write overlay over its cached pristine core.
+// localization/correlation pass finishes the report. The only serial
+// stages left are order-dependent by construction: the O(failures) patch
+// replay and the single controller localize.Scout, which runs on the
+// compiled-plan engine (cached CSR/bitset plan plus O(marks) overlay
+// delta), so its cost is the greedy rounds themselves, not model-sized
+// setup. switches must be sorted ascending and aligned with checkReps.
+// ctrl is consumed (marked in place): the one-shot analyzer passes a
+// fresh model, a warm session a copy-on-write overlay over its cached
+// pristine core.
 func (a *Analyzer) assemble(ctrl risk.Marker, d *Deployment, changes *ChangeLog, faults *FaultLog,
 	now time.Time, switches []object.ID, checkReps []*equiv.Report) *Report {
 	oracle := a.oracle(changes, now)
+	lstatsBefore := localize.StatsSnapshot()
 
 	srs := make([]SwitchReport, len(switches))
 	patches := make([]*risk.Patch, len(switches))
@@ -847,11 +886,26 @@ func (a *Analyzer) assemble(ctrl risk.Marker, d *Deployment, changes *ChangeLog,
 		patches[i].Apply(ctrl)
 	}
 	if !rep.Consistent {
-		rep.Controller = localize.Scout(ctrl, oracle)
+		rep.Controller = a.localizeScout(ctrl, oracle)
 		rep.Hypothesis = rep.Controller.Hypothesis
 		rep.RootCauses = a.engine.Correlate(rep.Hypothesis, changes, faults)
 	}
+	if !rep.Consistent && !a.opts.RefLocalizer {
+		delta := localize.StatsSnapshot().Delta(lstatsBefore)
+		rep.LocalizeStats = &delta
+	}
 	return rep
+}
+
+// localizeScout dispatches one Scout run to the configured localization
+// engine. The per-switch calls run concurrently inside the assemble
+// fan-out over one shared compiled plan per model, which is safe: plans
+// are immutable once compiled and the per-run state is private.
+func (a *Analyzer) localizeScout(v risk.View, oracle localize.ChangeOracle) *localize.Result {
+	if a.opts.RefLocalizer {
+		return localize.RefScout(v, oracle)
+	}
+	return localize.Scout(v, oracle)
 }
 
 // buildSwitchReport assembles one switch's report from its check result,
@@ -866,10 +920,30 @@ func (a *Analyzer) buildSwitchReport(d *Deployment, oracle localize.ChangeOracle
 		ExtraRules:   checkRep.ExtraRules,
 	}
 	if !checkRep.Equivalent {
-		swModel := risk.BuildAnnotatedSwitchModel(d, sw, checkRep.MissingRules)
-		sr.Result = localize.Scout(swModel, oracle)
+		sr.Result = a.localizeScout(a.switchModel(d, sw, checkRep), oracle)
 	}
 	return sr
+}
+
+// switchModel returns the annotated risk model for one inequivalent
+// switch, served from the session's model cache when the same
+// (deployment, report) pair was localized before. One-shot analyzers
+// (nil cache) build fresh — their models cannot outlive the run anyway.
+func (a *Analyzer) switchModel(d *Deployment, sw object.ID, checkRep *equiv.Report) *risk.Model {
+	if a.swModels == nil {
+		return risk.BuildAnnotatedSwitchModel(d, sw, checkRep.MissingRules)
+	}
+	a.swModelMu.Lock()
+	ent := a.swModels[sw]
+	a.swModelMu.Unlock()
+	if ent != nil && ent.dep == d && ent.report == checkRep {
+		return ent.model
+	}
+	m := risk.BuildAnnotatedSwitchModel(d, sw, checkRep.MissingRules)
+	a.swModelMu.Lock()
+	a.swModels[sw] = &switchModelEntry{dep: d, report: checkRep, model: m}
+	a.swModelMu.Unlock()
+	return m
 }
 
 // checkSwitch produces the missing/extra-rule report for one switch using

@@ -9,6 +9,7 @@ import (
 	"scout/internal/compile"
 	"scout/internal/equiv"
 	"scout/internal/fabric"
+	"scout/internal/localize"
 	"scout/internal/object"
 	"scout/internal/probe"
 	"scout/internal/risk"
@@ -209,6 +210,34 @@ type SessionStats struct {
 	EventBatches         int
 	EventSwitchesRead    int
 	EventSwitchesAliased int
+	// Localization-engine counters, accumulated from each run's
+	// Report.LocalizeStats. PlanCompiles counts CSR/bitset plan builds
+	// from a pristine risk model; PlanReuses counts localizations served
+	// by a cached plan — a warm session on an unchanged deployment shows
+	// zero compiles after its first inconsistent run, because every
+	// overlay run composes against the model's cached plan. LazyEvals
+	// counts lazy-greedy heap re-evaluations and LazyPicks the greedy
+	// picks they produced; their ratio versus FullScanEvals (the
+	// coverage evaluations an eager greedy would have done) is the
+	// CELF-style work saving.
+	PlanCompiles  int
+	PlanReuses    int
+	LazyEvals     int
+	FullScanEvals int
+	LazyPicks     int
+}
+
+// addLocalizeStats folds one run's localization delta into the session
+// counters (no-op for consistent runs, which localize nothing).
+func (st *SessionStats) addLocalizeStats(d *localize.EngineStats) {
+	if d == nil {
+		return
+	}
+	st.PlanCompiles += int(d.PlanCompiles)
+	st.PlanReuses += int(d.PlanReuses)
+	st.LazyEvals += int(d.LazyEvals)
+	st.FullScanEvals += int(d.FullScanEvals)
+	st.LazyPicks += int(d.LazyPicks)
 }
 
 // NewSession creates a persistent analysis session over the fabric. The
@@ -220,8 +249,14 @@ type SessionStats struct {
 // Analyze only — the epoch/event/raw-state entry points consume
 // collected TCAM snapshots, which probe mode by definition does not use.
 func NewSession(f *fabric.Fabric, opts ...AnalyzerOptions) (*Session, error) {
+	a := NewAnalyzer(opts...)
+	// Sessions replay cached check reports across runs, so their analyzer
+	// also caches the annotated switch models those reports localize on —
+	// a warm run re-localizes every still-broken switch through the
+	// model's cached plan, compiling nothing.
+	a.swModels = make(map[object.ID]*switchModelEntry)
 	return &Session{
-		a:              NewAnalyzer(opts...),
+		a:              a,
 		f:              f,
 		cache:          make(map[object.ID]*switchCheckState),
 		probeCache:     make(map[object.ID]*switchCheckState),
@@ -342,6 +377,7 @@ func (s *Session) analyzeProbesLocked(d *compile.Deployment) (*Report, error) {
 	rep.Elapsed = time.Since(start)
 	after := prober.Stats()
 	s.stats.Runs++
+	s.stats.addLocalizeStats(rep.LocalizeStats)
 	s.stats.ProbeSwitchesClassified += len(dirty)
 	s.stats.ProbeSwitchesReplayed += len(switches) - len(dirty)
 	s.stats.ProbePacketsBatched += after.BatchedPackets - before.BatchedPackets
@@ -510,11 +546,13 @@ func (s *Session) Invalidate(switches ...ObjectID) {
 	if len(switches) == 0 {
 		s.cache = make(map[object.ID]*switchCheckState)
 		s.probeCache = make(map[object.ID]*switchCheckState)
+		s.a.swModels = make(map[object.ID]*switchModelEntry)
 		return
 	}
 	for _, sw := range switches {
 		delete(s.cache, sw)
 		delete(s.probeCache, sw)
+		delete(s.a.swModels, sw)
 	}
 }
 
@@ -526,6 +564,7 @@ func (s *Session) Reset() {
 	defer s.mu.Unlock()
 	s.cache = make(map[object.ID]*switchCheckState)
 	s.probeCache = make(map[object.ID]*switchCheckState)
+	s.a.swModels = make(map[object.ID]*switchModelEntry)
 	s.checkers = nil
 	s.base = nil
 	s.baseFP = 0
@@ -661,6 +700,7 @@ func (s *Session) analyzeLocked(st State, cleanTCAM map[object.ID]bool) (*Report
 	rep := s.a.assemble(ctrlModel, st.Deployment, st.Changes, st.Faults, st.Now, switches, checkReps)
 	rep.Elapsed = time.Since(start)
 	s.stats.Runs++
+	s.stats.addLocalizeStats(rep.LocalizeStats)
 	s.stats.Checked += len(dirty)
 	s.stats.Replayed += len(switches) - len(dirty)
 	if !s.a.opts.UseNaiveChecker {
